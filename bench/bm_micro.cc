@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the core primitives of §III-D:
+// inverted-index construction, next() queries, root instance sets, INSgrow
+// steps, and whole supComp runs as pattern length grows.
+
+#include <benchmark/benchmark.h>
+
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "datagen/quest_generator.h"
+
+namespace gsgrow {
+namespace {
+
+const SequenceDatabase& TestDb() {
+  static SequenceDatabase* db = [] {
+    QuestParams params;
+    params.num_sequences = 2000;
+    params.avg_sequence_length = 50;
+    params.num_events = 500;
+    params.avg_pattern_length = 10;
+    params.seed = 5;
+    return new SequenceDatabase(GenerateQuest(params));
+  }();
+  return *db;
+}
+
+const InvertedIndex& TestIndex() {
+  static InvertedIndex* index = new InvertedIndex(TestDb());
+  return *index;
+}
+
+// Most frequent events of the corpus, for stable pattern construction.
+std::vector<EventId> TopEvents(size_t k) {
+  const InvertedIndex& index = TestIndex();
+  std::vector<EventId> events(index.present_events().begin(),
+                              index.present_events().end());
+  std::sort(events.begin(), events.end(), [&](EventId a, EventId b) {
+    return index.TotalCount(a) > index.TotalCount(b);
+  });
+  events.resize(std::min(k, events.size()));
+  return events;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const SequenceDatabase& db = TestDb();
+  for (auto _ : state) {
+    InvertedIndex index(db);
+    benchmark::DoNotOptimize(index.alphabet_size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(db.Stats().total_length));
+}
+BENCHMARK(BM_IndexBuild);
+
+void BM_NextQuery(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  EventId e = TopEvents(1)[0];
+  SeqId seq = index.Postings(e)[0].seq;
+  Position p = 0;
+  for (auto _ : state) {
+    Position next = index.NextAtOrAfter(seq, e, p);
+    p = (next == kNoPosition) ? 0 : next + 1;
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NextQuery);
+
+void BM_RootInstances(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  EventId e = TopEvents(1)[0];
+  for (auto _ : state) {
+    SupportSet set = RootInstances(index, e);
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RootInstances);
+
+void BM_INSgrow(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  std::vector<EventId> top = TopEvents(2);
+  SupportSet base = RootInstances(index, top[0]);
+  for (auto _ : state) {
+    SupportSet grown = GrowSupportSet(index, base, top[1]);
+    benchmark::DoNotOptimize(grown.size());
+  }
+  // Items = instances scanned per growth.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(base.size()));
+}
+BENCHMARK(BM_INSgrow);
+
+void BM_SupComp(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::vector<EventId> top = TopEvents(4);
+  std::vector<EventId> events;
+  for (size_t i = 0; i < len; ++i) events.push_back(top[i % top.size()]);
+  Pattern pattern(events);
+  for (auto _ : state) {
+    uint64_t sup = ComputeSupport(index, pattern);
+    benchmark::DoNotOptimize(sup);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(len));
+}
+BENCHMARK(BM_SupComp)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FullSupportSet(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  std::vector<EventId> top = TopEvents(3);
+  Pattern pattern({top[0], top[1], top[2]});
+  for (auto _ : state) {
+    auto set = ComputeFullSupportSet(index, pattern);
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_FullSupportSet);
+
+}  // namespace
+}  // namespace gsgrow
+
+BENCHMARK_MAIN();

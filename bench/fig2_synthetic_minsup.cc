@@ -1,0 +1,50 @@
+// Figure 2: runtime and #patterns vs min_sup on the synthetic
+// D5C20N10S20 dataset, GSgrow ("All") vs CloGSgrow ("Closed").
+//
+// Expected shape (paper): at the low cut-off threshold GSgrow explodes
+// (>10^7 patterns, hours) while CloGSgrow stays manageable; the pattern
+// count of Closed is orders of magnitude below All.
+
+#include <cstdio>
+#include <vector>
+
+#include "datagen/quest_generator.h"
+#include "harness.h"
+#include "io/dataset_stats.h"
+#include "util/table.h"
+
+using namespace gsgrow;
+
+int main() {
+  const double scale = bench::Scale();
+  const double budget = bench::BudgetSeconds();
+  bench::PrintPreamble(
+      "Figure 2: varying min_sup on D5C20N10S20",
+      "All explodes below min_sup~7 (axis break at 3); Closed completes at "
+      "every threshold with far fewer patterns");
+
+  QuestParams params;
+  params.num_sequences =
+      static_cast<uint32_t>(std::max(1.0, 5000 * scale));
+  params.avg_sequence_length = 20;
+  params.num_events = static_cast<uint32_t>(std::max(64.0, 10000 * scale));
+  params.avg_pattern_length = 20;
+  SequenceDatabase db = GenerateQuest(params);
+  std::printf("%s\n", FormatStatsReport(params.Name(), db).c_str());
+  InvertedIndex index(db);
+
+  // The paper's thresholds are small absolute values sitting near the mean
+  // event frequency (~10 occurrences/event), which is preserved when
+  // sequences and alphabet scale together — so they are used unscaled.
+  TextTable table({"min_sup", "All time", "All patterns", "Closed time",
+                   "Closed patterns"});
+  for (uint64_t min_sup : std::vector<uint64_t>{3, 7, 8, 9, 10}) {
+    bench::Cell all = bench::RunAll(index, min_sup, budget);
+    bench::Cell closed = bench::RunClosed(index, min_sup, budget);
+    table.AddRow({std::to_string(min_sup), bench::CellTime(all),
+                  bench::CellCount(all), bench::CellTime(closed),
+                  bench::CellCount(closed)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

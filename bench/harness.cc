@@ -1,0 +1,80 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/clogsgrow.h"
+#include "core/gsgrow.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace gsgrow::bench {
+
+double Scale() {
+  double s = EnvDouble("GSGROW_BENCH_SCALE", 0.25);
+  return std::clamp(s, 1e-3, 4.0);
+}
+
+double BudgetSeconds() {
+  double b = EnvDouble("GSGROW_BENCH_BUDGET", 5.0);
+  return std::clamp(b, 0.1, 36000.0);
+}
+
+uint64_t ScaledMinSup(uint64_t paper_value, double scale) {
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::llround(static_cast<double>(paper_value) * scale)));
+}
+
+namespace {
+
+Cell ToCell(const MiningResult& result) {
+  Cell cell;
+  cell.seconds = result.stats.elapsed_seconds;
+  cell.patterns = result.stats.patterns_found;
+  cell.truncated = result.stats.truncated;
+  return cell;
+}
+
+}  // namespace
+
+Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget) {
+  MinerOptions options;
+  options.min_support = min_sup;
+  options.time_budget_seconds = budget;
+  options.collect_patterns = false;
+  return ToCell(MineAllFrequent(index, options));
+}
+
+Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget) {
+  MinerOptions options;
+  options.min_support = min_sup;
+  options.time_budget_seconds = budget;
+  options.collect_patterns = false;
+  return ToCell(MineClosedFrequent(index, options));
+}
+
+std::string CellTime(const Cell& cell) {
+  std::string s = FormatSeconds(cell.seconds);
+  if (cell.truncated) s += "*";
+  return s;
+}
+
+std::string CellCount(const Cell& cell) {
+  std::string s = WithThousandsSeparators(cell.patterns);
+  if (cell.truncated) s = ">=" + s + "*";
+  return s;
+}
+
+void PrintPreamble(const std::string& title, const std::string& expectation) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("paper: %s\n", expectation.c_str());
+  std::printf(
+      "scale=%.2f budget=%.1fs/config (env GSGROW_BENCH_SCALE / "
+      "GSGROW_BENCH_BUDGET; '*' marks cut-off runs)\n\n",
+      Scale(), BudgetSeconds());
+}
+
+}  // namespace gsgrow::bench

@@ -1,0 +1,57 @@
+// Shared machinery for the figure/table benchmark harnesses.
+//
+// Every harness runs at a reduced default scale so the whole bench suite
+// finishes in minutes; set GSGROW_BENCH_SCALE=1.0 for paper-scale corpora
+// and GSGROW_BENCH_BUDGET (seconds per mining configuration) to raise the
+// per-run cut-off. Configurations that exceed the budget are reported with
+// a trailing '*' — these correspond to the paper's "cannot terminate /
+// cut-off" axis breaks.
+
+#ifndef GSGROW_BENCH_HARNESS_H_
+#define GSGROW_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/inverted_index.h"
+#include "core/miner_options.h"
+#include "core/mining_result.h"
+
+namespace gsgrow::bench {
+
+/// Dataset scale factor from GSGROW_BENCH_SCALE (default 0.25, clamped to
+/// (0, 4]).
+double Scale();
+
+/// Per-configuration time budget in seconds from GSGROW_BENCH_BUDGET
+/// (default 5).
+double BudgetSeconds();
+
+/// A paper support threshold scaled with the dataset (floor 1).
+uint64_t ScaledMinSup(uint64_t paper_value, double scale);
+
+/// Outcome of one mining run.
+struct Cell {
+  double seconds = 0.0;
+  uint64_t patterns = 0;
+  bool truncated = false;
+};
+
+/// Runs GSgrow (mining all) without materializing patterns.
+Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget);
+
+/// Runs CloGSgrow (mining closed) without materializing patterns.
+Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget);
+
+/// "1.23 s" or "(>) 5.00 s*" when the run was cut off.
+std::string CellTime(const Cell& cell);
+
+/// "12,345" or ">=12,345*" when the run was cut off.
+std::string CellCount(const Cell& cell);
+
+/// Prints the standard harness preamble (title, paper expectation, scale).
+void PrintPreamble(const std::string& title, const std::string& expectation);
+
+}  // namespace gsgrow::bench
+
+#endif  // GSGROW_BENCH_HARNESS_H_

@@ -1,0 +1,97 @@
+// Repetitive motif discovery in DNA-like sequences.
+//
+// Demonstrates a two-stage pipeline combining two modules of this library:
+//   1. CloGSgrow generates closed repetitive candidates (unconstrained
+//      gaps). On a 4-letter alphabet unconstrained gapped matching is
+//      extremely permissive — almost any short pattern matches somewhere —
+//      which is exactly why the paper (§V) names gap-constrained mining as
+//      future work for DNA data.
+//   2. The Zhang-et-al gap-requirement support (semantics/gap_support)
+//      re-ranks the candidates with a tight gap bound, which makes the
+//      planted tandem motif stand out from combinatorial background
+//      matches.
+//
+//   ./dna_motifs [--sequences=40] [--repeats=4] [--min_sup=120]
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/clogsgrow.h"
+#include "core/sequence_database.h"
+#include "semantics/gap_support.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace gsgrow;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int num_sequences = static_cast<int>(flags.GetInt("sequences", 40));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 4));
+  const uint64_t min_sup = static_cast<uint64_t>(
+      flags.GetInt("min_sup", num_sequences * repeats * 3 / 4));
+
+  const std::string motif = "GATTACA";
+  Rng rng(2718);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  std::vector<std::string> rows;
+  for (int i = 0; i < num_sequences; ++i) {
+    std::string seq;
+    for (int r = 0; r < repeats; ++r) {
+      // Random spacer, then the motif with occasional single-base inserts.
+      for (int s = 0; s < 6; ++s) seq.push_back(bases[rng.UniformInt(4)]);
+      for (char c : motif) {
+        seq.push_back(c);
+        if (rng.Bernoulli(0.2)) seq.push_back(bases[rng.UniformInt(4)]);
+      }
+    }
+    rows.push_back(std::move(seq));
+  }
+  SequenceDatabase db = MakeDatabaseFromStrings(rows);
+
+  std::printf("planted motif %s, %d sequences x %d repeats, min_sup=%llu\n\n",
+              motif.c_str(), num_sequences, repeats,
+              static_cast<unsigned long long>(min_sup));
+
+  // Stage 1: closed repetitive candidates with unconstrained gaps.
+  MinerOptions options;
+  options.min_support = min_sup;
+  options.max_pattern_length = motif.size();
+  options.time_budget_seconds = 30.0;
+  MiningResult closed = MineClosedFrequent(db, options);
+  std::printf("stage 1: %zu closed candidates (%.2f s)%s\n",
+              closed.patterns.size(), closed.stats.elapsed_seconds,
+              closed.stats.truncated ? " [budget hit]" : "");
+
+  // Stage 2: re-rank full-length candidates by gap-constrained occurrence
+  // count (at most 1 inserted base between consecutive motif positions).
+  GapRequirement tight{0, 1};
+  std::vector<std::pair<uint64_t, const PatternRecord*>> ranked;
+  for (const PatternRecord& r : closed.patterns) {
+    if (r.pattern.size() < motif.size()) continue;
+    ranked.emplace_back(GapSupport(db, r.pattern, tight), &r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::printf("stage 2: %zu length-%zu candidates re-ranked by gap<=1 "
+              "support\n\n", ranked.size(), motif.size());
+
+  TextTable table({"pattern", "gap<=1 occurrences", "repetitive sup"});
+  for (size_t k = 0; k < 10 && k < ranked.size(); ++k) {
+    table.AddRow({ranked[k].second->pattern.ToCompactString(db.dictionary()),
+                  std::to_string(ranked[k].first),
+                  std::to_string(ranked[k].second->support)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  if (!ranked.empty() &&
+      ranked.front().second->pattern.ToCompactString(db.dictionary()) ==
+          motif) {
+    std::printf("planted motif recovered as the top-ranked candidate\n");
+  } else {
+    std::printf("top candidate differs from the planted motif\n");
+  }
+  return 0;
+}

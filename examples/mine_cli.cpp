@@ -1,0 +1,104 @@
+// Command-line miner: end-to-end file-in / file-out usage of the library.
+//
+//   mine_cli --input=db.txt [--format=text|spmf] [--algorithm=closed|all]
+//            [--min_sup=10] [--max_len=0] [--budget=0] [--top=20]
+//            [--output=patterns.tsv] [--density=0] [--maximal]
+//
+// Reads a sequence database (text: one sequence of whitespace-separated
+// event names per line; spmf: "item -1 ... -2" lines), mines repetitive
+// gapped subsequences, optionally post-processes, prints the top patterns,
+// and optionally writes the full result as a TSV pattern file.
+
+#include <cstdio>
+#include <string>
+
+#include "core/clogsgrow.h"
+#include "core/gsgrow.h"
+#include "io/dataset_stats.h"
+#include "io/pattern_io.h"
+#include "io/spmf_format.h"
+#include "io/text_format.h"
+#include "postprocess/filters.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace gsgrow;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const std::string input = flags.GetString("input", "");
+  if (input.empty()) {
+    std::fprintf(stderr,
+                 "usage: mine_cli --input=db.txt [--format=text|spmf] "
+                 "[--algorithm=closed|all] [--min_sup=N] [--max_len=N] "
+                 "[--budget=SECONDS] [--top=N] [--output=patterns.tsv] "
+                 "[--density=D] [--maximal]\n");
+    return 2;
+  }
+
+  // --- Load. ---
+  const std::string format = flags.GetString("format", "text");
+  Result<SequenceDatabase> loaded =
+      format == "spmf" ? ReadSpmfDatabaseFile(input)
+                       : ReadTextDatabaseFile(input);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  SequenceDatabase db = std::move(loaded).value();
+  std::printf("%s\n", FormatStatsReport(input, db).c_str());
+
+  // --- Mine. ---
+  MinerOptions options;
+  options.min_support = static_cast<uint64_t>(flags.GetInt("min_sup", 10));
+  const int64_t max_len = flags.GetInt("max_len", 0);
+  if (max_len > 0) options.max_pattern_length = static_cast<size_t>(max_len);
+  const double budget = flags.GetDouble("budget", 0.0);
+  if (budget > 0) options.time_budget_seconds = budget;
+
+  const std::string algorithm = flags.GetString("algorithm", "closed");
+  MiningResult result = algorithm == "all"
+                            ? MineAllFrequent(db, options)
+                            : MineClosedFrequent(db, options);
+  std::printf("%s mining: %llu patterns in %.2f s%s\n", algorithm.c_str(),
+              static_cast<unsigned long long>(result.stats.patterns_found),
+              result.stats.elapsed_seconds,
+              result.stats.truncated
+                  ? (" [truncated: " + result.stats.truncated_reason + "]")
+                        .c_str()
+                  : "");
+
+  // --- Post-process. ---
+  std::vector<PatternRecord> patterns = std::move(result.patterns);
+  const double density = flags.GetDouble("density", 0.0);
+  if (density > 0) patterns = FilterByDensity(patterns, density);
+  if (flags.GetBool("maximal", false)) patterns = FilterMaximal(patterns);
+  patterns = RankByLength(std::move(patterns));
+
+  // --- Report. ---
+  const int top = static_cast<int>(flags.GetInt("top", 20));
+  TextTable table({"pattern", "len", "sup"});
+  for (int k = 0; k < top && k < static_cast<int>(patterns.size()); ++k) {
+    table.AddRow({patterns[k].pattern.ToString(db.dictionary()),
+                  std::to_string(patterns[k].pattern.size()),
+                  std::to_string(patterns[k].support)});
+  }
+  std::printf("\n%s", table.ToString().c_str());
+  if (static_cast<int>(patterns.size()) > top) {
+    std::printf("... and %zu more\n", patterns.size() - top);
+  }
+
+  const std::string output = flags.GetString("output", "");
+  if (!output.empty()) {
+    Status st = WritePatternsFile(patterns, db.dictionary(), output);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu patterns to %s\n", patterns.size(),
+                output.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Customer purchase-history analysis (the paper's §I motivating scenario).
+//
+// Repetitive support differentiates behaviors that repeat within a
+// customer's history (AB: "request placed" -> "request in-process") from
+// behaviors that happen once per customer (CD: "request cancelled" ->
+// "product delivered"), which classic sequential-pattern support cannot.
+//
+//   ./purchase_patterns [--customers=50]
+
+#include <cstdio>
+
+#include "core/clogsgrow.h"
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "core/sequence_database.h"
+#include "semantics/sequence_count_support.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace gsgrow;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int customers = static_cast<int>(flags.GetInt("customers", 50));
+
+  // Events: A = request placed, B = request in-process,
+  //         C = request cancelled, D = product delivered.
+  // Half the customers are heavy repeat-purchasers (the paper's §I example:
+  // CABABABABABD), half are one-shot customers (ABCD).
+  std::vector<std::string> rows;
+  for (int i = 0; i < customers; ++i) rows.push_back("CABABABABABD");
+  for (int i = 0; i < customers; ++i) rows.push_back("ABCD");
+  SequenceDatabase db = MakeDatabaseFromStrings(rows);
+  InvertedIndex index(db);
+
+  Pattern ab({db.dictionary().Lookup("A"), db.dictionary().Lookup("B")});
+  Pattern cd({db.dictionary().Lookup("C"), db.dictionary().Lookup("D")});
+
+  std::printf("database: %d repeat-purchase customers + %d one-shot "
+              "customers\n\n", customers, customers);
+  TextTable table({"pattern", "sequential support", "repetitive support"});
+  table.AddRow({"AB (placed->in-process)",
+                std::to_string(SequenceCount(db, ab)),
+                std::to_string(ComputeSupport(index, ab))});
+  table.AddRow({"CD (cancelled->delivered)",
+                std::to_string(SequenceCount(db, cd)),
+                std::to_string(ComputeSupport(index, cd))});
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Sequential support sees AB and CD as equally frequent (%llu each);\n"
+      "repetitive support separates them (paper §I: 300 vs 100 at 50+50).\n\n",
+      static_cast<unsigned long long>(SequenceCount(db, ab)));
+
+  // Mine closed patterns and show which behaviors repeat per customer.
+  MinerOptions options;
+  options.min_support = static_cast<uint64_t>(3 * customers);
+  MiningResult closed = MineClosedFrequent(db, options);
+  std::printf("closed patterns with repetitive support >= %llu:\n",
+              static_cast<unsigned long long>(options.min_support));
+  TextTable result_table({"pattern", "sup"});
+  for (const PatternRecord& r : closed.patterns) {
+    result_table.AddRow({r.pattern.ToCompactString(db.dictionary()),
+                         std::to_string(r.support)});
+  }
+  std::printf("%s", result_table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small database, mine all frequent repetitive gapped
+// subsequences and the closed subset, and inspect support sets.
+//
+//   ./quickstart [--min_sup=3]
+//
+// Uses the paper's running-example database (Table III):
+//   S1 = A B C A C B D D B
+//   S2 = A C D B A C A D D
+
+#include <cstdio>
+
+#include "core/clogsgrow.h"
+#include "core/gsgrow.h"
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "core/sequence_database.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+using namespace gsgrow;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const uint64_t min_sup = static_cast<uint64_t>(flags.GetInt("min_sup", 3));
+
+  // 1. Build a database. Use the builder for real event names, or
+  //    MakeDatabaseFromStrings for single-character toy data.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  std::printf("database: %zu sequences over %u events, min_sup = %llu\n\n",
+              db.size(), db.AlphabetSize(),
+              static_cast<unsigned long long>(min_sup));
+
+  // 2. Mine all frequent patterns with GSgrow.
+  MinerOptions options;
+  options.min_support = min_sup;
+  MiningResult all = MineAllFrequent(db, options);
+
+  // 3. Mine closed patterns with CloGSgrow.
+  MiningResult closed = MineClosedFrequent(db, options);
+
+  TextTable table({"pattern", "sup", "closed"});
+  for (const PatternRecord& r : all.patterns) {
+    bool is_closed = false;
+    for (const PatternRecord& c : closed.patterns) {
+      if (c.pattern == r.pattern) is_closed = true;
+    }
+    table.AddRow({r.pattern.ToCompactString(db.dictionary()),
+                  std::to_string(r.support), is_closed ? "yes" : ""});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf("all frequent: %zu patterns, closed: %zu patterns\n\n",
+              all.patterns.size(), closed.patterns.size());
+
+  // 4. Inspect a support set: the maximum set of non-overlapping instances.
+  InvertedIndex index(db);
+  Pattern acb({db.dictionary().Lookup("A"), db.dictionary().Lookup("C"),
+               db.dictionary().Lookup("B")});
+  std::printf("support set of ACB (1-based positions, as in the paper):\n");
+  for (const FullInstance& inst : ComputeFullSupportSet(index, acb)) {
+    std::printf("  (S%u, <", inst.seq + 1);
+    for (size_t j = 0; j < inst.landmark.size(); ++j) {
+      std::printf("%s%u", j ? "," : "", inst.landmark[j] + 1);
+    }
+    std::printf(">)\n");
+  }
+  return 0;
+}

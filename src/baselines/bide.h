@@ -1,0 +1,42 @@
+// BIDE (Wang & Han, ICDE 2004): mine closed sequential patterns without
+// candidate maintenance, via BI-Directional Extension closure checking and
+// BackScan search-space pruning.
+//
+// Baseline for the paper's §IV-A runtime comparison. Support semantics:
+// number of sequences containing the pattern.
+//
+// Closure checking: P (with support s) is closed iff
+//  * no forward-extension event e has sup(P ◦ e) == s, and
+//  * no backward-extension event exists: an event occurring in the i-th
+//    maximum period of EVERY sequence containing P, for some i in [1, |P|].
+// The i-th maximum period of S w.r.t. P is the piece of S between the end of
+// the first (earliest) instance of e_1..e_{i-1} and the i-th position of the
+// last (latest) instance of P; for i = 1 it is the prefix of S before the
+// last instance's first position.
+//
+// BackScan pruning replaces maximum periods by semi-maximum periods (bounded
+// by the FIRST instance's i-th position); if some event appears in the i-th
+// semi-maximum period of every containing sequence, growing P cannot yield
+// any closed pattern and the subtree is pruned.
+
+#ifndef GSGROW_BASELINES_BIDE_H_
+#define GSGROW_BASELINES_BIDE_H_
+
+#include "baselines/sequential_common.h"
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Extra knobs for BIDE.
+struct BideOptions : SequentialMinerOptions {
+  /// Disable only for ablation; output is identical either way.
+  bool use_backscan_pruning = true;
+};
+
+/// Mines all CLOSED sequential patterns (sequence-count support).
+MiningResult MineBide(const SequenceDatabase& db, const BideOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_BASELINES_BIDE_H_

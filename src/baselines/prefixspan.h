@@ -1,0 +1,23 @@
+// PrefixSpan (Pei et al., ICDE 2001): mine all frequent sequential patterns
+// by prefix-projected pattern growth with pseudo-projection.
+//
+// Baseline for the paper's §IV-A runtime comparison. Support semantics:
+// number of sequences containing the pattern.
+
+#ifndef GSGROW_BASELINES_PREFIXSPAN_H_
+#define GSGROW_BASELINES_PREFIXSPAN_H_
+
+#include "baselines/sequential_common.h"
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Mines all sequential patterns contained in at least
+/// options.min_support sequences. Patterns emitted in DFS order.
+MiningResult MinePrefixSpan(const SequenceDatabase& db,
+                            const SequentialMinerOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_BASELINES_PREFIXSPAN_H_

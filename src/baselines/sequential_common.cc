@@ -1,0 +1,86 @@
+#include "baselines/sequential_common.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gsgrow {
+
+bool SequenceContains(const Sequence& sequence, const Pattern& pattern) {
+  size_t j = 0;
+  for (Position p = 0; p < sequence.length() && j < pattern.size(); ++p) {
+    if (sequence[p] == pattern[j]) ++j;
+  }
+  return j == pattern.size();
+}
+
+uint64_t SequenceCountSupport(const SequenceDatabase& db,
+                              const Pattern& pattern) {
+  uint64_t count = 0;
+  for (const Sequence& s : db.sequences()) {
+    count += SequenceContains(s, pattern);
+  }
+  return count;
+}
+
+std::vector<Position> FirstInstance(const Sequence& sequence,
+                                    const Pattern& pattern) {
+  std::vector<Position> landmark;
+  landmark.reserve(pattern.size());
+  size_t j = 0;
+  for (Position p = 0; p < sequence.length() && j < pattern.size(); ++p) {
+    if (sequence[p] == pattern[j]) {
+      landmark.push_back(p);
+      ++j;
+    }
+  }
+  if (j != pattern.size()) return {};
+  return landmark;
+}
+
+std::vector<Position> LastInstance(const Sequence& sequence,
+                                   const Pattern& pattern) {
+  if (pattern.empty()) return {};
+  std::vector<Position> landmark(pattern.size());
+  size_t j = pattern.size();
+  for (Position p = static_cast<Position>(sequence.length()); p-- > 0;) {
+    if (j > 0 && sequence[p] == pattern[j - 1]) {
+      landmark[j - 1] = p;
+      --j;
+      if (j == 0) return landmark;
+    }
+  }
+  return {};
+}
+
+std::vector<PatternRecord> FilterClosedSequential(
+    const std::vector<PatternRecord>& records) {
+  // Group by support: a closure witness must have identical support.
+  std::map<uint64_t, std::vector<const PatternRecord*>> by_support;
+  for (const PatternRecord& r : records) {
+    by_support[r.support].push_back(&r);
+  }
+  std::vector<PatternRecord> closed;
+  for (auto& [support, group] : by_support) {
+    for (const PatternRecord* p : group) {
+      bool is_closed = true;
+      for (const PatternRecord* q : group) {
+        if (q->pattern.size() <= p->pattern.size()) continue;
+        if (p->pattern.IsSubsequenceOf(q->pattern)) {
+          is_closed = false;
+          break;
+        }
+      }
+      if (is_closed) closed.push_back(*p);
+    }
+  }
+  std::sort(closed.begin(), closed.end(),
+            [](const PatternRecord& a, const PatternRecord& b) {
+              if (a.pattern.size() != b.pattern.size()) {
+                return a.pattern.size() < b.pattern.size();
+              }
+              return a.pattern < b.pattern;
+            });
+  return closed;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,184 @@
+#include "baselines/spam.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gsgrow {
+
+namespace {
+
+/// Fixed-size bitmap over the concatenated database positions.
+class Bitmap {
+ public:
+  explicit Bitmap(size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  void Set(size_t bit) { words_[bit >> 6] |= (1ULL << (bit & 63)); }
+
+  /// First set bit in [lo, hi), or SIZE_MAX.
+  size_t FirstInRange(size_t lo, size_t hi) const {
+    if (lo >= hi) return SIZE_MAX;
+    size_t w = lo >> 6;
+    uint64_t word = words_[w] & (~0ULL << (lo & 63));
+    for (;;) {
+      if (word != 0) {
+        size_t bit = (w << 6) + static_cast<size_t>(__builtin_ctzll(word));
+        return bit < hi ? bit : SIZE_MAX;
+      }
+      if (++w > ((hi - 1) >> 6)) return SIZE_MAX;
+      word = words_[w];
+    }
+  }
+
+  /// Copies bits of `source` within [lo, hi) into this bitmap.
+  void CopyRange(const Bitmap& source, size_t lo, size_t hi) {
+    if (lo >= hi) return;
+    size_t first_word = lo >> 6;
+    size_t last_word = (hi - 1) >> 6;
+    for (size_t w = first_word; w <= last_word; ++w) {
+      uint64_t mask = ~0ULL;
+      if (w == first_word) mask &= (~0ULL << (lo & 63));
+      if (w == last_word && ((hi & 63) != 0)) {
+        mask &= (~0ULL >> (64 - (hi & 63)));
+      }
+      words_[w] |= source.words_[w] & mask;
+    }
+  }
+
+  void Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+class SpamRun {
+ public:
+  SpamRun(const SequenceDatabase& db, const SequentialMinerOptions& options)
+      : db_(db), options_(options), budget_(options.time_budget_seconds) {}
+
+  MiningResult Run() {
+    WallTimer timer;
+    // Concatenated position space with per-sequence ranges.
+    ranges_.reserve(db_.size());
+    size_t offset = 0;
+    for (const Sequence& s : db_.sequences()) {
+      ranges_.emplace_back(offset, offset + s.length());
+      offset += s.length();
+    }
+    total_bits_ = offset;
+
+    // Vertical event bitmaps and frequent single events.
+    const EventId alphabet = db_.AlphabetSize();
+    std::vector<uint64_t> event_seq_counts(alphabet, 0);
+    event_bitmaps_.assign(alphabet, Bitmap(total_bits_));
+    for (SeqId i = 0; i < db_.size(); ++i) {
+      const Sequence& s = db_[i];
+      std::vector<bool> seen(alphabet, false);
+      for (Position p = 0; p < s.length(); ++p) {
+        event_bitmaps_[s[p]].Set(ranges_[i].first + p);
+        if (!seen[s[p]]) {
+          seen[s[p]] = true;
+          event_seq_counts[s[p]]++;
+        }
+      }
+    }
+    std::vector<EventId> frequent_events;
+    for (EventId e = 0; e < alphabet; ++e) {
+      if (event_seq_counts[e] >= options_.min_support) {
+        frequent_events.push_back(e);
+      }
+    }
+
+    for (EventId e : frequent_events) {
+      if (stopped_) break;
+      pattern_.push_back(e);
+      Emit(event_seq_counts[e]);
+      if (!stopped_) Dfs(event_bitmaps_[e], frequent_events);
+      pattern_.pop_back();
+    }
+    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  void Emit(uint64_t support) {
+    result_.patterns.push_back(PatternRecord{Pattern(pattern_), support});
+    result_.stats.patterns_found++;
+    result_.stats.max_depth =
+        std::max(result_.stats.max_depth, pattern_.size());
+    if (result_.stats.patterns_found >= options_.max_patterns) {
+      Stop("max_patterns");
+    }
+  }
+
+  void Dfs(const Bitmap& bitmap, const std::vector<EventId>& candidates) {
+    result_.stats.nodes_visited++;
+    if (stopped_) return;
+    if (!budget_.IsUnlimited() && budget_.Expired()) {
+      Stop("time_budget");
+      return;
+    }
+    if (pattern_.size() >= options_.max_pattern_length) return;
+
+    // S-step every candidate first; children inherit the full list of
+    // events that stayed frequent here (Apriori: an event infrequent at
+    // this node is infrequent below).
+    struct Extension {
+      EventId event;
+      uint64_t support;
+      Bitmap bitmap;
+    };
+    std::vector<Extension> extensions;
+    std::vector<EventId> next_candidates;
+    for (EventId e : candidates) {
+      Bitmap extended(total_bits_);
+      uint64_t support = 0;
+      for (const auto& [lo, hi] : ranges_) {
+        const size_t first = bitmap.FirstInRange(lo, hi);
+        if (first == SIZE_MAX || first + 1 >= hi) continue;
+        // S-step: the extension event may occur at any position strictly
+        // after the pattern's first possible end in this sequence.
+        extended.CopyRange(event_bitmaps_[e], first + 1, hi);
+        if (extended.FirstInRange(first + 1, hi) != SIZE_MAX) ++support;
+      }
+      if (support < options_.min_support) continue;
+      next_candidates.push_back(e);
+      extensions.push_back(Extension{e, support, std::move(extended)});
+    }
+    for (Extension& ext : extensions) {
+      if (stopped_) return;
+      pattern_.push_back(ext.event);
+      Emit(ext.support);
+      if (!stopped_) Dfs(ext.bitmap, next_candidates);
+      pattern_.pop_back();
+    }
+  }
+
+  void Stop(const char* reason) {
+    stopped_ = true;
+    result_.stats.truncated = true;
+    result_.stats.truncated_reason = reason;
+  }
+
+  const SequenceDatabase& db_;
+  const SequentialMinerOptions& options_;
+  TimeBudget budget_;
+  MiningResult result_;
+  std::vector<std::pair<size_t, size_t>> ranges_;
+  std::vector<Bitmap> event_bitmaps_;
+  std::vector<EventId> pattern_;
+  size_t total_bits_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+MiningResult MineSpam(const SequenceDatabase& db,
+                      const SequentialMinerOptions& options) {
+  GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
+  return SpamRun(db, options).Run();
+}
+
+}  // namespace gsgrow

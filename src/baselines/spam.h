@@ -1,0 +1,28 @@
+// SPAM (Ayres, Flannick, Gehrke & Yiu, KDD 2002): sequential pattern mining
+// with a vertical bitmap representation — the remaining classic "mine all"
+// baseline referenced by the paper's related work.
+//
+// Each event's occurrences across the concatenated database are one bitmap;
+// a pattern's bitmap marks the positions where an occurrence can end. The
+// S-step transform sets, per sequence, all bits strictly after the first
+// set bit, then intersects with the extension event's bitmap. Support is
+// the number of sequences with a surviving bit (sequence-count semantics,
+// identical to PrefixSpan's output).
+
+#ifndef GSGROW_BASELINES_SPAM_H_
+#define GSGROW_BASELINES_SPAM_H_
+
+#include "baselines/sequential_common.h"
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Mines all sequential patterns contained in at least options.min_support
+/// sequences. Output (as a set) is identical to MinePrefixSpan.
+MiningResult MineSpam(const SequenceDatabase& db,
+                      const SequentialMinerOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_BASELINES_SPAM_H_

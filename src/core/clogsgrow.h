@@ -1,0 +1,42 @@
+// CloGSgrow (paper Algorithm 4): mine CLOSED frequent repetitive gapped
+// subsequences.
+//
+// Two strategies on top of GSgrow's DFS:
+//
+//  * Closure checking (CCheck, Theorem 4): a pattern P is non-closed iff some
+//    single-event extension (append / insert / prepend, Definition 3.4) has
+//    the same repetitive support. Non-closed patterns are suppressed from the
+//    output but their subtrees must still be explored (Example 3.5).
+//
+//  * Landmark border checking (LBCheck, Theorem 5): if an equal-support
+//    extension P' exists whose leftmost support set does not shift the last
+//    landmark positions right (l'_{m+1} <= l_m instance-wise), then no closed
+//    pattern has P as a prefix and the whole DFS subtree is pruned.
+//
+// Append extensions are exactly the DFS children, so their supports come for
+// free. Insert/prepend extensions at gap j reuse the leftmost support set of
+// the prefix e_1..e_j kept on the DFS stack, grow it with the candidate
+// event, then regrow e_{j+1}..e_m with Apriori early exit. Candidates are
+// pre-filtered by the sound per-sequence-count condition (DESIGN.md §1).
+
+#ifndef GSGROW_CORE_CLOGSGROW_H_
+#define GSGROW_CORE_CLOGSGROW_H_
+
+#include "core/inverted_index.h"
+#include "core/miner_options.h"
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Mines all closed patterns P with sup(P) >= options.min_support.
+MiningResult MineClosedFrequent(const InvertedIndex& index,
+                                const MinerOptions& options);
+
+/// Convenience overload; builds the inverted index internally.
+MiningResult MineClosedFrequent(const SequenceDatabase& db,
+                                const MinerOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_CLOGSGROW_H_

@@ -1,0 +1,49 @@
+#include "core/feature_extraction.h"
+
+#include <cmath>
+
+#include "core/instance_growth.h"
+#include "util/logging.h"
+
+namespace gsgrow {
+
+FeatureMatrix ExtractFeatures(const InvertedIndex& index,
+                              std::vector<Pattern> patterns) {
+  FeatureMatrix out;
+  out.patterns = std::move(patterns);
+  out.rows.assign(index.num_sequences(),
+                  std::vector<uint32_t>(out.patterns.size(), 0));
+  for (size_t j = 0; j < out.patterns.size(); ++j) {
+    std::vector<uint32_t> per_seq = PerSequenceSupport(index, out.patterns[j]);
+    for (size_t i = 0; i < per_seq.size(); ++i) {
+      out.rows[i][j] = per_seq[i];
+    }
+  }
+  return out;
+}
+
+FeatureMatrix ExtractFeatures(const SequenceDatabase& db,
+                              std::vector<Pattern> patterns) {
+  InvertedIndex index(db);
+  return ExtractFeatures(index, std::move(patterns));
+}
+
+std::vector<double> DiscriminativeScores(const FeatureMatrix& features,
+                                         const std::vector<bool>& labels) {
+  GSGROW_CHECK(labels.size() == features.num_sequences());
+  std::vector<double> scores(features.num_features(), 0.0);
+  size_t n_pos = 0, n_neg = 0;
+  for (bool b : labels) (b ? n_pos : n_neg)++;
+  if (n_pos == 0 || n_neg == 0) return scores;
+  for (size_t j = 0; j < features.num_features(); ++j) {
+    double sum_pos = 0.0, sum_neg = 0.0;
+    for (size_t i = 0; i < features.num_sequences(); ++i) {
+      (labels[i] ? sum_pos : sum_neg) += features.rows[i][j];
+    }
+    scores[j] = std::fabs(sum_pos / static_cast<double>(n_pos) -
+                          sum_neg / static_cast<double>(n_neg));
+  }
+  return scores;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,42 @@
+// Per-sequence pattern supports as classification features (paper §V:
+// "report their supports in each sequence as feature values").
+
+#ifndef GSGROW_CORE_FEATURE_EXTRACTION_H_
+#define GSGROW_CORE_FEATURE_EXTRACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/pattern.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Rows = sequences, columns = patterns; cell (i, j) is sup_i(pattern_j),
+/// the repetitive support of pattern j restricted to sequence i.
+struct FeatureMatrix {
+  std::vector<Pattern> patterns;
+  std::vector<std::vector<uint32_t>> rows;
+
+  size_t num_sequences() const { return rows.size(); }
+  size_t num_features() const { return patterns.size(); }
+};
+
+/// Builds the feature matrix with one supComp pass per pattern.
+FeatureMatrix ExtractFeatures(const InvertedIndex& index,
+                              std::vector<Pattern> patterns);
+
+/// Convenience overload; builds the index internally.
+FeatureMatrix ExtractFeatures(const SequenceDatabase& db,
+                              std::vector<Pattern> patterns);
+
+/// Score of how discriminative each pattern is between two groups of
+/// sequences (e.g. buggy vs normal traces): absolute difference of the mean
+/// per-sequence support. Returned in the patterns' order.
+std::vector<double> DiscriminativeScores(
+    const FeatureMatrix& features, const std::vector<bool>& group_labels);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_FEATURE_EXTRACTION_H_

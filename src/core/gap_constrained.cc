@@ -1,0 +1,153 @@
+#include "core/gap_constrained.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/instance_growth.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gsgrow {
+
+SupportSet GrowSupportSetWithGaps(const InvertedIndex& index,
+                                  const SupportSet& support_set, EventId e,
+                                  const LandmarkGapConstraint& gap) {
+  GSGROW_DCHECK(IsRightShiftSorted(support_set));
+  SupportSet out;
+  out.reserve(support_set.size());
+  const size_t n = support_set.size();
+  size_t k = 0;
+  while (k < n) {
+    const SeqId seq = support_set[k].seq;
+    Position floor = 0;
+    for (; k < n && support_set[k].seq == seq; ++k) {
+      const Instance& inst = support_set[k];
+      // Window for the next landmark: gap events strictly between.
+      const uint64_t window_lo64 =
+          static_cast<uint64_t>(inst.last) + 1 + gap.min_gap;
+      if (window_lo64 > kNoPosition - 1) continue;
+      const Position window_lo = static_cast<Position>(window_lo64);
+      const Position from = std::max(floor, window_lo);
+      const Position lj = index.NextAtOrAfter(seq, e, from);
+      if (lj == kNoPosition) continue;
+      // Window upper bound (inclusive): inst.last + 1 + max_gap.
+      const uint64_t window_hi =
+          static_cast<uint64_t>(inst.last) + 1 + gap.max_gap;
+      if (static_cast<uint64_t>(lj) > window_hi) {
+        // Out of window for THIS instance only; later instances have
+        // windows further right, so keep scanning (no break).
+        continue;
+      }
+      floor = lj + 1;
+      out.push_back(Instance{seq, inst.first, lj});
+    }
+  }
+  return out;
+}
+
+uint64_t GreedyGapConstrainedSupport(const InvertedIndex& index,
+                                     const Pattern& pattern,
+                                     const LandmarkGapConstraint& gap) {
+  if (pattern.empty()) return 0;
+  SupportSet set = RootInstances(index, pattern[0]);
+  for (size_t j = 1; j < pattern.size() && !set.empty(); ++j) {
+    set = GrowSupportSetWithGaps(index, set, pattern[j], gap);
+  }
+  return set.size();
+}
+
+uint64_t ExactGapConstrainedSupport(const SequenceDatabase& db,
+                                    const Pattern& pattern,
+                                    const LandmarkGapConstraint& gap) {
+  return ReferenceSupport(db, pattern, gap);
+}
+
+namespace {
+
+/// DFS append-growth with exact supports; prefix-Apriori pruning only.
+class GapConstrainedRun {
+ public:
+  GapConstrainedRun(const SequenceDatabase& db, const MinerOptions& options,
+                    const LandmarkGapConstraint& gap)
+      : db_(db),
+        options_(options),
+        gap_(gap),
+        budget_(options.time_budget_seconds) {}
+
+  MiningResult Run() {
+    WallTimer timer;
+    std::vector<EventId> alphabet;
+    {
+      // Frequent single events by total occurrence count.
+      InvertedIndex index(db_);
+      for (EventId e : index.present_events()) {
+        if (index.TotalCount(e) >= options_.min_support) {
+          alphabet.push_back(e);
+        }
+      }
+    }
+    for (EventId e : alphabet) {
+      if (stopped_) break;
+      pattern_.push_back(e);
+      Dfs(alphabet);
+      pattern_.pop_back();
+    }
+    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
+    return std::move(result_);
+  }
+
+ private:
+  void Dfs(const std::vector<EventId>& alphabet) {
+    result_.stats.nodes_visited++;
+    if (stopped_) return;
+    if (!budget_.IsUnlimited() && budget_.Expired()) {
+      Stop("time_budget");
+      return;
+    }
+    Pattern pattern(pattern_);
+    const uint64_t support = ExactGapConstrainedSupport(db_, pattern, gap_);
+    if (support < options_.min_support) return;
+    if (options_.collect_patterns) {
+      result_.patterns.push_back(PatternRecord{pattern, support});
+    }
+    result_.stats.patterns_found++;
+    result_.stats.max_depth =
+        std::max(result_.stats.max_depth, pattern_.size());
+    if (result_.stats.patterns_found >= options_.max_patterns) {
+      Stop("max_patterns");
+      return;
+    }
+    if (pattern_.size() >= options_.max_pattern_length) return;
+    for (EventId e : alphabet) {
+      if (stopped_) return;
+      pattern_.push_back(e);
+      Dfs(alphabet);
+      pattern_.pop_back();
+    }
+  }
+
+  void Stop(const char* reason) {
+    stopped_ = true;
+    result_.stats.truncated = true;
+    result_.stats.truncated_reason = reason;
+  }
+
+  const SequenceDatabase& db_;
+  const MinerOptions& options_;
+  const LandmarkGapConstraint& gap_;
+  TimeBudget budget_;
+  MiningResult result_;
+  std::vector<EventId> pattern_;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
+                                           const MinerOptions& options,
+                                           const LandmarkGapConstraint& gap) {
+  GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
+  return GapConstrainedRun(db, options, gap).Run();
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,28 @@
+// GSgrow (paper Algorithm 3): mine ALL frequent repetitive gapped
+// subsequences by depth-first pattern growth with embedded instance growth.
+
+#ifndef GSGROW_CORE_GSGROW_H_
+#define GSGROW_CORE_GSGROW_H_
+
+#include "core/inverted_index.h"
+#include "core/miner_options.h"
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Mines all patterns P with sup(P) >= options.min_support.
+///
+/// Patterns are emitted in depth-first lexicographic (event-id) order. When
+/// a budget in `options` trips, the result is a prefix of the full output and
+/// stats.truncated is set.
+MiningResult MineAllFrequent(const InvertedIndex& index,
+                             const MinerOptions& options);
+
+/// Convenience overload; builds the inverted index internally.
+MiningResult MineAllFrequent(const SequenceDatabase& db,
+                             const MinerOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_GSGROW_H_

@@ -1,0 +1,54 @@
+// Instances and support sets (paper Definitions 2.2-2.5, Section III-D).
+//
+// An instance of a size-m pattern is (i, <l_1..l_m>); following the paper's
+// compressed storage, we keep only the triple (i, l_1, l_m) -- every
+// operation of the miners needs only the sequence id, the first landmark
+// position, and the last landmark position. Full landmarks can be
+// reconstructed on demand (see instance_growth.h).
+//
+// Support sets are kept sorted in the right-shift order (Definition 3.1):
+// ascending (seq, last).
+
+#ifndef GSGROW_CORE_INSTANCE_H_
+#define GSGROW_CORE_INSTANCE_H_
+
+#include <cstddef>
+#include <tuple>
+#include <vector>
+
+#include "core/types.h"
+
+namespace gsgrow {
+
+/// Compressed instance: sequence id + first/last landmark positions.
+struct Instance {
+  SeqId seq = 0;
+  Position first = 0;
+  Position last = 0;
+
+  friend bool operator==(const Instance& a, const Instance& b) = default;
+};
+
+/// Right-shift order (Definition 3.1): ascending sequence id, then ascending
+/// last landmark position.
+inline bool RightShiftLess(const Instance& a, const Instance& b) {
+  return std::tie(a.seq, a.last) < std::tie(b.seq, b.last);
+}
+
+/// A set of pairwise non-overlapping instances, sorted in right-shift order.
+/// The miners only ever materialize *leftmost* support sets (Definition 3.2),
+/// whose size equals the repetitive support of the pattern.
+using SupportSet = std::vector<Instance>;
+
+/// True iff `set` is sorted in strict right-shift order (which also implies
+/// instances within a sequence have pairwise distinct last positions).
+inline bool IsRightShiftSorted(const SupportSet& set) {
+  for (size_t k = 1; k < set.size(); ++k) {
+    if (!RightShiftLess(set[k - 1], set[k])) return false;
+  }
+  return true;
+}
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_INSTANCE_H_

@@ -1,0 +1,94 @@
+#include "core/inverted_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gsgrow {
+
+InvertedIndex::InvertedIndex(const SequenceDatabase& db) {
+  alphabet_size_ = db.AlphabetSize();
+  total_counts_.assign(alphabet_size_, 0);
+  postings_.resize(alphabet_size_);
+  seq_blocks_.resize(db.size());
+
+  for (SeqId i = 0; i < db.size(); ++i) {
+    const Sequence& s = db[i];
+    SeqBlock& block = seq_blocks_[i];
+    // Count occurrences per event in this sequence.
+    // Sequences are typically short relative to the alphabet, so collect the
+    // events actually present instead of scanning the whole alphabet.
+    std::vector<std::pair<EventId, Position>> occ;
+    occ.reserve(s.length());
+    for (Position p = 0; p < s.length(); ++p) {
+      occ.emplace_back(s[p], p);
+    }
+    std::stable_sort(occ.begin(), occ.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    block.positions.reserve(occ.size());
+    for (size_t k = 0; k < occ.size(); ++k) {
+      if (k == 0 || occ[k].first != occ[k - 1].first) {
+        block.events.push_back(occ[k].first);
+        block.offsets.push_back(static_cast<uint32_t>(block.positions.size()));
+      }
+      block.positions.push_back(occ[k].second);
+    }
+    block.offsets.push_back(static_cast<uint32_t>(block.positions.size()));
+
+    for (size_t k = 0; k < block.events.size(); ++k) {
+      const EventId e = block.events[k];
+      const uint32_t count = block.offsets[k + 1] - block.offsets[k];
+      postings_[e].push_back(Posting{i, count});
+      total_counts_[e] += count;
+    }
+  }
+
+  for (EventId e = 0; e < alphabet_size_; ++e) {
+    if (total_counts_[e] > 0) present_events_.push_back(e);
+  }
+}
+
+int InvertedIndex::FindEventSlot(const SeqBlock& block, EventId e) {
+  auto it = std::lower_bound(block.events.begin(), block.events.end(), e);
+  if (it == block.events.end() || *it != e) return -1;
+  return static_cast<int>(it - block.events.begin());
+}
+
+std::span<const Position> InvertedIndex::Positions(SeqId i, EventId e) const {
+  GSGROW_DCHECK(i < seq_blocks_.size());
+  const SeqBlock& block = seq_blocks_[i];
+  int slot = FindEventSlot(block, e);
+  if (slot < 0) return {};
+  return {block.positions.data() + block.offsets[slot],
+          block.positions.data() + block.offsets[slot + 1]};
+}
+
+Position InvertedIndex::NextAtOrAfter(SeqId i, EventId e,
+                                      Position from) const {
+  std::span<const Position> pos = Positions(i, e);
+  auto it = std::lower_bound(pos.begin(), pos.end(), from);
+  return it == pos.end() ? kNoPosition : *it;
+}
+
+uint32_t InvertedIndex::Count(SeqId i, EventId e) const {
+  return static_cast<uint32_t>(Positions(i, e).size());
+}
+
+uint64_t InvertedIndex::TotalCount(EventId e) const {
+  return e < total_counts_.size() ? total_counts_[e] : 0;
+}
+
+std::span<const InvertedIndex::Posting> InvertedIndex::Postings(
+    EventId e) const {
+  if (e >= postings_.size()) return {};
+  return postings_[e];
+}
+
+std::span<const EventId> InvertedIndex::EventsInSequence(SeqId i) const {
+  GSGROW_DCHECK(i < seq_blocks_.size());
+  return seq_blocks_[i].events;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,87 @@
+// Inverted event index (paper Section III-D).
+//
+// For each (sequence, event) pair, the sorted list of positions where the
+// event occurs: L_{e,S_i} = { p | S_i[p] = e }. The instance-growth operation
+// INSgrow issues next(S, e, lowest) queries against it, answered with a
+// binary search in O(log L).
+//
+// Layout: per sequence, a CSR block (sorted unique events + offsets +
+// concatenated position lists). Additionally a per-event postings list of
+// (sequence, count) pairs supports root instance-set construction and the
+// insert-candidate filter of CloGSgrow.
+
+#ifndef GSGROW_CORE_INVERTED_INDEX_H_
+#define GSGROW_CORE_INVERTED_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "core/sequence_database.h"
+#include "core/types.h"
+
+namespace gsgrow {
+
+/// Immutable index over a SequenceDatabase. The database must outlive the
+/// index.
+class InvertedIndex {
+ public:
+  /// One postings entry: event `count` occurrences in sequence `seq`.
+  struct Posting {
+    SeqId seq;
+    uint32_t count;
+  };
+
+  explicit InvertedIndex(const SequenceDatabase& db);
+
+  /// Sorted positions of `e` in sequence `i` (possibly empty).
+  std::span<const Position> Positions(SeqId i, EventId e) const;
+
+  /// Smallest position p >= `from` with S_i[p] == e, or kNoPosition.
+  ///
+  /// This is the paper's next(S, e, lowest) with the strict bound folded in:
+  /// next(S, e, lowest) == NextAtOrAfter(i, e, lowest + 1).
+  Position NextAtOrAfter(SeqId i, EventId e, Position from) const;
+
+  /// Number of occurrences of `e` in sequence `i`.
+  uint32_t Count(SeqId i, EventId e) const;
+
+  /// Total occurrences of `e` across the database.
+  uint64_t TotalCount(EventId e) const;
+
+  /// Sequences containing `e`, with per-sequence counts, ascending by seq.
+  std::span<const Posting> Postings(EventId e) const;
+
+  /// Distinct events occurring in sequence `i`, ascending by event id.
+  std::span<const EventId> EventsInSequence(SeqId i) const;
+
+  /// Dense alphabet size the index was built with (max event id + 1).
+  EventId alphabet_size() const { return alphabet_size_; }
+
+  size_t num_sequences() const { return seq_blocks_.size(); }
+
+  /// Events with TotalCount(e) > 0, ascending.
+  const std::vector<EventId>& present_events() const { return present_events_; }
+
+ private:
+  struct SeqBlock {
+    // Sorted distinct events of this sequence.
+    std::vector<EventId> events;
+    // offsets[k] .. offsets[k+1] delimit positions of events[k] in
+    // `positions`.
+    std::vector<uint32_t> offsets;
+    std::vector<Position> positions;
+  };
+
+  // Index of `e` within block.events, or -1.
+  static int FindEventSlot(const SeqBlock& block, EventId e);
+
+  std::vector<SeqBlock> seq_blocks_;
+  std::vector<std::vector<Posting>> postings_;  // indexed by event
+  std::vector<uint64_t> total_counts_;          // indexed by event
+  std::vector<EventId> present_events_;
+  EventId alphabet_size_ = 0;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_INVERTED_INDEX_H_

@@ -1,0 +1,53 @@
+// Options shared by GSgrow and CloGSgrow.
+
+#ifndef GSGROW_CORE_MINER_OPTIONS_H_
+#define GSGROW_CORE_MINER_OPTIONS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gsgrow {
+
+/// Mining configuration. Defaults mine everything with the paper's
+/// optimizations enabled; the budget fields exist so benchmark harnesses can
+/// reproduce the paper's "cannot terminate" cut-off behavior gracefully.
+struct MinerOptions {
+  /// Minimum repetitive support (min_sup). Must be >= 1.
+  uint64_t min_support = 2;
+
+  /// Stop growing patterns beyond this length.
+  size_t max_pattern_length = std::numeric_limits<size_t>::max();
+
+  /// Abort (with MiningStats::truncated) after emitting this many patterns.
+  uint64_t max_patterns = std::numeric_limits<uint64_t>::max();
+
+  /// Abort (with MiningStats::truncated) after this much wall-clock time.
+  /// Infinity (default) means unlimited.
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+
+  /// When false, found patterns are only counted (MiningStats::
+  /// patterns_found), not materialized into MiningResult::patterns.
+  /// Benchmarks mining tens of millions of patterns use this.
+  bool collect_patterns = true;
+
+  /// Pass the parent's frequent-extension event list down the DFS instead of
+  /// retrying the whole alphabet at every node (sound by the Apriori
+  /// property; the paper's "maintain a list of possible events", §III-D).
+  bool use_candidate_list = true;
+
+  // --- CloGSgrow-only switches (ignored by GSgrow) ---
+
+  /// Landmark border checking (Theorem 5): prune entire DFS subtrees below
+  /// patterns that provably generate no closed pattern. Disable only for
+  /// ablation studies; the output is identical either way.
+  bool use_landmark_border_pruning = true;
+
+  /// Pre-filter insert/prepend closure-check candidates with the sound
+  /// per-sequence-count condition (see DESIGN.md §1). Disable only for
+  /// ablation studies; the output is identical either way.
+  bool use_insert_candidate_filter = true;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_MINER_OPTIONS_H_

@@ -1,0 +1,56 @@
+// Result types returned by the miners.
+
+#ifndef GSGROW_CORE_MINING_RESULT_H_
+#define GSGROW_CORE_MINING_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pattern.h"
+
+namespace gsgrow {
+
+/// A mined pattern with its repetitive support.
+struct PatternRecord {
+  Pattern pattern;
+  uint64_t support = 0;
+
+  friend bool operator==(const PatternRecord& a,
+                         const PatternRecord& b) = default;
+};
+
+/// Counters and outcome flags of one mining run.
+struct MiningStats {
+  /// Number of patterns emitted into MiningResult::patterns.
+  uint64_t patterns_found = 0;
+  /// DFS nodes visited (frequent patterns explored, including non-closed
+  /// ones in CloGSgrow).
+  uint64_t nodes_visited = 0;
+  /// Total INSgrow invocations (mining growth + closure checking).
+  uint64_t insgrow_calls = 0;
+  /// Deepest pattern length reached.
+  size_t max_depth = 0;
+  /// CloGSgrow: DFS subtrees pruned by landmark border checking (Thm. 5).
+  uint64_t lb_pruned_subtrees = 0;
+  /// CloGSgrow: frequent-but-non-closed patterns suppressed by CCheck.
+  uint64_t nonclosed_suppressed = 0;
+  /// True if the run stopped early (max_patterns or time budget).
+  bool truncated = false;
+  /// Why the run stopped early ("max_patterns", "time_budget"); empty when
+  /// not truncated.
+  std::string truncated_reason;
+  /// Wall-clock mining time in seconds (excludes index construction when the
+  /// caller passes a prebuilt index).
+  double elapsed_seconds = 0.0;
+};
+
+/// Patterns plus run statistics.
+struct MiningResult {
+  std::vector<PatternRecord> patterns;
+  MiningStats stats;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_MINING_RESULT_H_

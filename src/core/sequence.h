@@ -1,0 +1,44 @@
+// A sequence: an ordered list of events (the paper's S = <e_1 .. e_len>).
+
+#ifndef GSGROW_CORE_SEQUENCE_H_
+#define GSGROW_CORE_SEQUENCE_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace gsgrow {
+
+/// An immutable-after-construction ordered list of events.
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(std::vector<EventId> events) : events_(std::move(events)) {}
+  Sequence(std::initializer_list<EventId> events) : events_(events) {}
+
+  /// Event at 0-based position `pos` (the paper's S[pos+1]).
+  EventId operator[](Position pos) const {
+    GSGROW_DCHECK(pos < events_.size());
+    return events_[pos];
+  }
+
+  size_t length() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  const std::vector<EventId>& events() const { return events_; }
+
+  auto begin() const { return events_.begin(); }
+  auto end() const { return events_.end(); }
+
+  bool operator==(const Sequence& other) const = default;
+
+ private:
+  std::vector<EventId> events_;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_SEQUENCE_H_

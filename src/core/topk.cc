@@ -1,0 +1,57 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "core/clogsgrow.h"
+#include "core/inverted_index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace gsgrow {
+
+std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
+                                          const TopKOptions& options) {
+  GSGROW_CHECK_MSG(options.k >= 1, "k must be >= 1");
+  TimeBudget budget(options.time_budget_seconds);
+  InvertedIndex index(db);
+
+  uint64_t threshold = 0;
+  for (EventId e : index.present_events()) {
+    threshold = std::max(threshold, index.TotalCount(e));
+  }
+  if (threshold == 0) return {};
+
+  std::vector<PatternRecord> qualifying;
+  for (;;) {
+    MinerOptions miner_options;
+    miner_options.min_support = threshold;
+    miner_options.max_pattern_length = options.max_pattern_length;
+    if (!budget.IsUnlimited()) {
+      miner_options.time_budget_seconds =
+          std::max(0.0, budget.LimitSeconds() - budget.ElapsedSeconds());
+    }
+    MiningResult closed = MineClosedFrequent(index, miner_options);
+    qualifying.clear();
+    for (PatternRecord& r : closed.patterns) {
+      if (r.pattern.size() >= options.min_length) {
+        qualifying.push_back(std::move(r));
+      }
+    }
+    const bool out_of_budget =
+        closed.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
+    if (qualifying.size() >= options.k || threshold == 1 || out_of_budget) {
+      break;
+    }
+    threshold = std::max<uint64_t>(1, threshold / 2);
+  }
+
+  std::sort(qualifying.begin(), qualifying.end(),
+            [](const PatternRecord& a, const PatternRecord& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.pattern < b.pattern;
+            });
+  if (qualifying.size() > options.k) qualifying.resize(options.k);
+  return qualifying;
+}
+
+}  // namespace gsgrow

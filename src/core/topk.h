@@ -1,0 +1,43 @@
+// Top-K closed pattern mining: find the K closed repetitive gapped
+// subsequences with the highest supports without asking the user for a
+// min_sup value up front.
+//
+// Implemented by threshold descent: start from the highest single-event
+// support and repeatedly halve the threshold until K qualifying closed
+// patterns exist (or the floor of 1 is reached), then return the K best.
+// Each descent step reuses CloGSgrow, so all of its pruning applies.
+
+#ifndef GSGROW_CORE_TOPK_H_
+#define GSGROW_CORE_TOPK_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Options for top-K mining.
+struct TopKOptions {
+  /// Number of patterns to return.
+  size_t k = 10;
+  /// Ignore patterns shorter than this (1 = keep single events). Commonly
+  /// set to 2 so trivially-frequent single events do not crowd the result.
+  size_t min_length = 1;
+  size_t max_pattern_length = std::numeric_limits<size_t>::max();
+  /// Total wall-clock budget across all descent steps.
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+};
+
+/// The K closed patterns (length >= min_length) with the highest repetitive
+/// supports, sorted by descending support then ascending pattern. May
+/// return fewer than K when the database has fewer closed patterns or the
+/// budget expires.
+std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
+                                          const TopKOptions& options);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_TOPK_H_

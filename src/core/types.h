@@ -1,0 +1,31 @@
+// Fundamental identifier types used across the mining core.
+//
+// Positions are 0-based internally. The paper's worked examples use 1-based
+// positions; tests that encode paper tables convert explicitly.
+
+#ifndef GSGROW_CORE_TYPES_H_
+#define GSGROW_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gsgrow {
+
+/// Identifier of a distinct event (symbol) in a sequence database.
+using EventId = uint32_t;
+
+/// Index of a sequence within a database.
+using SeqId = uint32_t;
+
+/// 0-based position of an event inside a sequence.
+using Position = uint32_t;
+
+/// Sentinel: "no such position" (the paper's l_j = infinity).
+inline constexpr Position kNoPosition = std::numeric_limits<Position>::max();
+
+/// Sentinel: invalid/unassigned event.
+inline constexpr EventId kNoEvent = std::numeric_limits<EventId>::max();
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_TYPES_H_

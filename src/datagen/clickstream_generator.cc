@@ -1,0 +1,45 @@
+#include "datagen/clickstream_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gsgrow {
+
+SequenceDatabase GenerateClickstream(const ClickstreamParams& params) {
+  GSGROW_CHECK(params.num_pages > 0);
+  Rng rng(params.seed);
+  ZipfDistribution page_zipf(params.num_pages, params.page_skew);
+
+  std::vector<Sequence> sessions;
+  sessions.reserve(params.num_sessions);
+  for (uint32_t i = 0; i < params.num_sessions; ++i) {
+    // Pareto(x_m = 1, alpha) truncated: most sessions are a few clicks,
+    // rare ones reach max_session_length.
+    const double u = std::max(rng.UniformDouble(), 0x1.0p-53);
+    size_t len = static_cast<size_t>(
+        std::floor(std::pow(u, -1.0 / params.length_exponent)));
+    len = std::clamp<size_t>(len, 1, params.max_session_length);
+
+    std::vector<EventId> clicks;
+    clicks.reserve(len);
+    for (size_t c = 0; c < len; ++c) {
+      if (c >= 2 && rng.Bernoulli(params.revisit_probability)) {
+        // Loop back to one of the last 4 pages: long sessions revisit the
+        // same few pages over and over, producing repetitive patterns.
+        size_t back = 1 + static_cast<size_t>(
+                              rng.UniformInt(std::min<size_t>(4, c)));
+        clicks.push_back(clicks[c - back]);
+      } else {
+        clicks.push_back(static_cast<EventId>(page_zipf.Sample(&rng)));
+      }
+    }
+    sessions.emplace_back(std::move(clicks));
+  }
+  return SequenceDatabase(std::move(sessions));
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,40 @@
+// Gazelle-like clickstream generator.
+//
+// The paper's second dataset is the KDD Cup 2000 Gazelle clickstream:
+// 29369 sequences over 1423 distinct events, average length 3, maximum
+// length 651 — i.e. mostly tiny sessions with a heavy tail of very long
+// sessions in which patterns repeat many times. That dataset is not
+// redistributable here, so this generator reproduces its shape: power-law
+// session lengths truncated at `max_session_length`, zipf page popularity,
+// and a Markov-style revisit probability that creates within-session loops.
+// See DESIGN.md §3.
+
+#ifndef GSGROW_DATAGEN_CLICKSTREAM_GENERATOR_H_
+#define GSGROW_DATAGEN_CLICKSTREAM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Defaults match the published Gazelle shape statistics.
+struct ClickstreamParams {
+  uint32_t num_sessions = 29369;
+  uint32_t num_pages = 1423;
+  /// Pareto tail exponent; ~1.5 gives mean session length near 3.
+  double length_exponent = 1.5;
+  uint32_t max_session_length = 651;
+  /// Zipf exponent of page popularity.
+  double page_skew = 1.1;
+  /// Probability that a click revisits one of the last few pages (loops).
+  double revisit_probability = 0.3;
+  uint64_t seed = 7;
+};
+
+/// Generates a clickstream database; deterministic in (params, seed).
+SequenceDatabase GenerateClickstream(const ClickstreamParams& params);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_DATAGEN_CLICKSTREAM_GENERATOR_H_

@@ -1,0 +1,256 @@
+#include "datagen/models.h"
+
+#include <string>
+#include <vector>
+
+namespace gsgrow {
+
+TraceModel MakeJBossTransactionModel() {
+  TraceModel m;
+  auto E = [&](const char* name) { return m.Event(name); };
+  auto opt = [&](size_t node, double p) { return m.Optional(node, p); };
+
+  // --- Block 1: connection set up (paper Fig. 7, events 1-4). ---
+  size_t connection_setup = m.Seq({
+      E("TransManLoc.getInstance"),
+      E("TransManLoc.locate"),
+      E("TransManLoc.tryJNDI"),
+      E("TransManLoc.usePrivateAPI"),
+      opt(E("Logger.debug"), 0.4),
+  });
+
+  // --- Block 2: TxManager set up (events 5-9). ---
+  size_t txmanager_setup = m.Seq({
+      E("TxManager.getInstance"),
+      opt(E("SecurityManager.checkAccess"), 0.35),
+      E("TxManager.begin"),
+      E("XidFactory.newXid"),
+      E("XidFactory.getNextId"),
+      E("XidImpl.getTrulyGlobalId"),
+      opt(E("Logger.trace"), 0.3),
+  });
+
+  // --- Block 3: transaction set up (events 10-18). ---
+  size_t lock = E("TransImpl.lock");
+  size_t unlock = E("TransImpl.unlock");
+  size_t transaction_setup = m.Seq({
+      E("TransImpl.assocCurThd"),
+      lock,
+      unlock,
+      E("TransImpl.getLocId"),
+      E("XidImpl.getLocId"),
+      E("LocId.hashCode"),
+      opt(E("TransactionLocal.get"), 0.3),
+      opt(E("TransactionLocal.set"), 0.25),
+      E("TxManager.getTrans"),
+      E("TransImpl.isDone"),
+      E("TransImpl.getStatus"),
+      opt(E("Timeout.schedule"), 0.4),
+  });
+
+  // --- Block 4: resource enlistment & transaction execution (19-37). ---
+  size_t enlistment_iteration = m.Seq({
+      E("TxManager.getTrans"),
+      E("TransImpl.isDone"),
+      E("TransImpl.enlistResource"),
+      lock,
+      E("TransImpl.createXidBranch"),
+      E("XidFactory.newBranch"),
+      unlock,
+      E("XidImpl.hashCode"),
+      opt(E("XidImpl.toString"), 0.2),
+      E("XidImpl.hashCode"),
+      lock,
+      unlock,
+      E("XidImpl.hashCode"),
+      opt(E("ConnectionPool.acquire"), 0.35),
+      opt(E("ConnectionPool.validate"), 0.25),
+  });
+  size_t execution = m.Seq({
+      E("TxManager.getTrans"),
+      E("TransImpl.isDone"),
+      E("TransImpl.equals"),
+      E("TransImpl.getLocIdVal"),
+      E("XidImpl.getLocIdVal"),
+      E("TransImpl.getLocIdVal"),
+      E("XidImpl.getLocIdVal"),
+      opt(E("TransImpl.registerSync"), 0.3),
+      opt(E("TransImpl.getRollbackOnly"), 0.25),
+      opt(E("Metrics.increment"), 0.2),
+  });
+  size_t enlistment_and_execution = m.Seq({
+      m.Loop(enlistment_iteration, 1, 0.30),
+      execution,
+  });
+
+  // --- Block 5: transaction commit (events 38-58). ---
+  size_t commit_prepare = m.Seq({
+      lock,
+      E("TransImpl.beforePrepare"),
+      E("TransImpl.checkIntegrity"),
+      E("TransImpl.checkBeforeStatus"),
+      E("TransImpl.endResources"),
+      unlock,
+  });
+  size_t commit = m.Seq({
+      E("TxManager.commit"),
+      E("TransImpl.commit"),
+      // The paper's longest pattern shows the prepare sub-block twice
+      // (lines 38-45 then 40-45 again): commit retries the prepare checks.
+      commit_prepare,
+      opt(E("TransImpl.setRollbackOnly"), 0.08),
+      commit_prepare,
+      E("XidImpl.hashCode"),
+      lock,
+      unlock,
+      E("XidImpl.hashCode"),
+      lock,
+      E("TransImpl.completeTrans"),
+      E("TransImpl.cancelTimeout"),
+      unlock,
+      lock,
+      E("TransImpl.doAfterCompletion"),
+      unlock,
+      lock,
+      E("TransImpl.instanceDone"),
+      opt(E("Timeout.cancel"), 0.35),
+      opt(E("Metrics.timer"), 0.2),
+  });
+
+  // --- Block 6: transaction dispose (events 59-66). ---
+  size_t dispose = m.Seq({
+      E("TxManager.getInstance"),
+      E("TxManager.releaseTransImpl"),
+      E("TransImpl.getLocalId"),
+      E("XidImpl.getLocalId"),
+      E("LocalId.hashCode"),
+      E("LocalId.equals"),
+      unlock,
+      E("XidImpl.hashCode"),
+      opt(E("ConnectionPool.release"), 0.3),
+      opt(E("ThreadLocal.remove"), 0.25),
+  });
+
+  // Rarely exercised alternative paths: suspend/resume and rollback-ish
+  // bookkeeping, plus misc logging. These contribute alphabet breadth
+  // without disturbing the dominant flow.
+  size_t rare_admin = m.Choice(
+      {
+          m.Seq({E("TxManager.suspend"), E("TxManager.resume")}),
+          m.Seq({E("SecurityManager.getSubject"), E("Logger.info")}),
+          m.Seq({E("ThreadLocal.get"), E("Logger.warn")}),
+          m.Seq({E("XidImpl.equals"), E("Logger.debug")}),
+      },
+      {1.0, 1.0, 1.0, 1.0});
+
+  size_t transaction = m.Seq({
+      txmanager_setup,
+      transaction_setup,
+      enlistment_and_execution,
+      opt(rare_admin, 0.30),
+      commit,
+      dispose,
+  });
+
+  m.SetRoot(m.Seq({
+      connection_setup,
+      m.Loop(transaction, 1, 0.32),
+  }));
+  return m;
+}
+
+TraceModel MakeTcasLikeModel() {
+  TraceModel m;
+  auto E = [&](const std::string& name) { return m.Event(name); };
+  auto opt = [&](size_t node, double p) { return m.Optional(node, p); };
+
+  size_t init = m.Seq({
+      E("Init.start"),
+      E("Init.loadConfig"),
+      E("Init.calibrateSensors"),
+      E("Tracker.init"),
+      opt(E("Init.selfTest"), 0.5),
+      E("Init.done"),
+  });
+
+  // Ten advisory subtypes, each with its own 4-event block; a trace
+  // exercises few of them, giving the 75-event alphabet its breadth.
+  std::vector<size_t> advisory_blocks;
+  std::vector<double> advisory_weights;
+  for (int i = 0; i < 10; ++i) {
+    const std::string p = "Advisory" + std::to_string(i);
+    advisory_blocks.push_back(m.Seq({
+        E(p + ".evaluate"),
+        E(p + ".fire"),
+        opt(E(p + ".verify"), 0.4),
+        E(p + ".log"),
+        E(p + ".clear"),
+    }));
+    advisory_weights.push_back(i < 3 ? 3.0 : 1.0);  // a few common subtypes
+  }
+  size_t advisory = m.Choice(advisory_blocks, advisory_weights);
+
+  // Rare maintenance branch: exercised by few traces, widens the alphabet.
+  size_t maintenance = m.Seq({
+      E("Maint.check"),
+      E("Maint.reset"),
+      E("Sensor.recalibrate"),
+      E("Tracker.flush"),
+      E("Maint.log"),
+  });
+
+  size_t no_threat = m.Seq({
+      E("Logic.evaluate"),
+      E("Logic.clearOfConflict"),
+  });
+  size_t threat = m.Seq({
+      E("Logic.evaluate"),
+      E("Logic.threatDetected"),
+      E("Logic.rangeTest"),
+      advisory,
+      m.Choice({E("Pilot.ack"), E("Pilot.override")}, {4.0, 1.0}),
+      E("Display.update"),
+  });
+
+  size_t loop_body = m.Seq({
+      E("Sensor.readAltitude"),
+      E("Sensor.readBearing"),
+      opt(E("Sensor.readRange"), 0.6),
+      E("Tracker.update"),
+      m.Choice({no_threat, threat}, {0.55, 0.45}),
+      opt(maintenance, 0.04),
+      opt(E("Telemetry.emit"), 0.3),
+  });
+
+  size_t shutdown = m.Seq({
+      E("System.log"),
+      E("System.shutdown"),
+  });
+
+  m.SetRoot(m.Seq({
+      init,
+      m.Loop(loop_body, 1, 0.62),
+      shutdown,
+  }));
+  return m;
+}
+
+SequenceDatabase GenerateJBossTraces(uint32_t num_traces, uint64_t seed) {
+  TraceModel model = MakeJBossTransactionModel();
+  TraceGenParams params;
+  params.num_traces = num_traces;
+  params.max_trace_length = 125;
+  params.seed = seed;
+  return GenerateTraces(model, params);
+}
+
+SequenceDatabase GenerateTcasTraces(uint32_t num_traces, uint64_t seed) {
+  TraceModel model = MakeTcasLikeModel();
+  TraceGenParams params;
+  params.num_traces = num_traces;
+  params.max_trace_length = 70;
+  params.seed = seed;
+  return GenerateTraces(model, params);
+}
+
+}  // namespace gsgrow

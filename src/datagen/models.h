@@ -1,0 +1,35 @@
+// Concrete behavior models for the trace generator.
+//
+//  * MakeJBossTransactionModel(): a transaction-component model following
+//    the six semantic blocks of the paper's Fig. 7 (connection setup ->
+//    TxManager setup -> transaction setup -> resource enlistment &
+//    execution -> commit -> dispose), over 64 distinct method events, with
+//    lock/unlock micro-loops. Generating 28 traces (max length 125)
+//    reproduces the §IV-B case-study corpus shape.
+//
+//  * MakeTcasLikeModel(): an avionics-style init / sensor-advisory loop /
+//    shutdown model over 75 distinct events whose traces match the TCAS
+//    dataset shape (avg length ~36, max 70).
+
+#ifndef GSGROW_DATAGEN_MODELS_H_
+#define GSGROW_DATAGEN_MODELS_H_
+
+#include "datagen/trace_generator.h"
+
+namespace gsgrow {
+
+/// JBoss-transaction-like behavior model (64 distinct events).
+TraceModel MakeJBossTransactionModel();
+
+/// TCAS-like behavior model (75 distinct events).
+TraceModel MakeTcasLikeModel();
+
+/// Standard corpora matching the paper's dataset statistics.
+SequenceDatabase GenerateJBossTraces(uint32_t num_traces = 28,
+                                     uint64_t seed = 11);
+SequenceDatabase GenerateTcasTraces(uint32_t num_traces = 1578,
+                                    uint64_t seed = 13);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_DATAGEN_MODELS_H_

@@ -1,0 +1,147 @@
+#include "datagen/trace_generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gsgrow {
+
+size_t TraceModel::Event(std::string_view name) {
+  Node node;
+  node.kind = Kind::kEvent;
+  node.event = dictionary_.Intern(name);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t TraceModel::Seq(std::vector<size_t> children) {
+  Node node;
+  node.kind = Kind::kSequence;
+  node.children = std::move(children);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t TraceModel::Choice(std::vector<size_t> children,
+                          std::vector<double> weights) {
+  GSGROW_CHECK(children.size() == weights.size());
+  GSGROW_CHECK(!children.empty());
+  Node node;
+  node.kind = Kind::kChoice;
+  node.children = std::move(children);
+  double total = 0.0;
+  for (double w : weights) {
+    GSGROW_CHECK(w >= 0.0);
+    total += w;
+  }
+  GSGROW_CHECK(total > 0.0);
+  double acc = 0.0;
+  node.weights.reserve(weights.size());
+  for (double w : weights) {
+    acc += w / total;
+    node.weights.push_back(acc);
+  }
+  node.weights.back() = 1.0;
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t TraceModel::Loop(size_t child, uint32_t min_iterations,
+                        double continue_probability) {
+  GSGROW_CHECK(child < nodes_.size());
+  Node node;
+  node.kind = Kind::kLoop;
+  node.child = child;
+  node.min_iterations = min_iterations;
+  node.continue_probability = continue_probability;
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+size_t TraceModel::Optional(size_t child, double probability) {
+  GSGROW_CHECK(child < nodes_.size());
+  Node node;
+  node.kind = Kind::kOptional;
+  node.child = child;
+  node.probability = probability;
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+/// Walks the model recursively, appending emitted events.
+class TraceEmitter {
+ public:
+  TraceEmitter(const TraceModel& model, Rng* rng, size_t max_length)
+      : model_(model), rng_(rng), max_length_(max_length) {}
+
+  std::vector<EventId> Emit() {
+    events_.clear();
+    Walk(model_.root_);
+    return events_;
+  }
+
+ private:
+  bool Full() const {
+    return max_length_ != 0 && events_.size() >= max_length_;
+  }
+
+  void Walk(size_t node_index) {
+    if (Full()) return;
+    const TraceModel::Node& node = model_.nodes_[node_index];
+    switch (node.kind) {
+      case TraceModel::Kind::kEvent:
+        events_.push_back(node.event);
+        break;
+      case TraceModel::Kind::kSequence:
+        for (size_t child : node.children) {
+          Walk(child);
+          if (Full()) return;
+        }
+        break;
+      case TraceModel::Kind::kChoice: {
+        const double u = rng_->UniformDouble();
+        size_t pick = static_cast<size_t>(
+            std::lower_bound(node.weights.begin(), node.weights.end(), u) -
+            node.weights.begin());
+        pick = std::min(pick, node.children.size() - 1);
+        Walk(node.children[pick]);
+        break;
+      }
+      case TraceModel::Kind::kLoop: {
+        for (uint32_t i = 0; i < node.min_iterations; ++i) {
+          Walk(node.child);
+          if (Full()) return;
+        }
+        while (rng_->Bernoulli(node.continue_probability)) {
+          Walk(node.child);
+          if (Full()) return;
+        }
+        break;
+      }
+      case TraceModel::Kind::kOptional:
+        if (rng_->Bernoulli(node.probability)) Walk(node.child);
+        break;
+    }
+  }
+
+  const TraceModel& model_;
+  Rng* rng_;
+  size_t max_length_;
+  std::vector<EventId> events_;
+};
+
+SequenceDatabase GenerateTraces(const TraceModel& model,
+                                const TraceGenParams& params) {
+  GSGROW_CHECK_MSG(model.num_nodes() > 0, "model has no nodes");
+  Rng rng(params.seed);
+  TraceEmitter emitter(model, &rng, params.max_trace_length);
+  std::vector<Sequence> traces;
+  traces.reserve(params.num_traces);
+  for (uint32_t i = 0; i < params.num_traces; ++i) {
+    traces.emplace_back(emitter.Emit());
+  }
+  return SequenceDatabase(std::move(traces), model.dictionary());
+}
+
+}  // namespace gsgrow

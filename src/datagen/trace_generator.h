@@ -1,0 +1,84 @@
+// Program-trace generator: emits event sequences from a probabilistic
+// block-structured behavior model (sequence / choice / loop / optional).
+//
+// Substitutes for two datasets the paper uses but that are not
+// redistributable: the TCAS (Traffic alert and Collision Avoidance System)
+// trace set and the JBoss Application Server transaction-component traces
+// of the §IV-B case study. Concrete models for both live in
+// datagen/models.h. See DESIGN.md §3.
+
+#ifndef GSGROW_DATAGEN_TRACE_GENERATOR_H_
+#define GSGROW_DATAGEN_TRACE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/event_dictionary.h"
+#include "core/sequence_database.h"
+#include "core/types.h"
+
+namespace gsgrow {
+
+/// A behavior model: an arena of composable nodes. Build with the Event /
+/// Seq / Choice / Loop / Optional factory methods, then SetRoot.
+class TraceModel {
+ public:
+  /// Leaf: emits one named event.
+  size_t Event(std::string_view name);
+  /// Emits all children in order.
+  size_t Seq(std::vector<size_t> children);
+  /// Emits exactly one child, picked by (unnormalized) weight.
+  size_t Choice(std::vector<size_t> children, std::vector<double> weights);
+  /// Emits `child` min_iterations times, then keeps repeating it with
+  /// probability continue_probability per extra iteration.
+  size_t Loop(size_t child, uint32_t min_iterations,
+              double continue_probability);
+  /// Emits `child` with the given probability, otherwise nothing.
+  size_t Optional(size_t child, double probability);
+
+  void SetRoot(size_t node) { root_ = node; }
+  size_t root() const { return root_; }
+
+  const EventDictionary& dictionary() const { return dictionary_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_distinct_events() const { return dictionary_.size(); }
+
+ private:
+  friend class TraceEmitter;
+
+  enum class Kind { kEvent, kSequence, kChoice, kLoop, kOptional };
+  struct Node {
+    Kind kind;
+    EventId event = kNoEvent;       // kEvent
+    std::vector<size_t> children;   // kSequence / kChoice
+    std::vector<double> weights;    // kChoice (cumulative, normalized)
+    size_t child = 0;               // kLoop / kOptional
+    uint32_t min_iterations = 0;    // kLoop
+    double continue_probability = 0.0;  // kLoop
+    double probability = 1.0;       // kOptional
+  };
+
+  std::vector<Node> nodes_;
+  size_t root_ = 0;
+  EventDictionary dictionary_;
+};
+
+/// Options for trace emission.
+struct TraceGenParams {
+  uint32_t num_traces = 28;
+  /// Hard cap per trace; generation stops mid-walk when reached (loops can
+  /// otherwise run long). 0 means unlimited.
+  size_t max_trace_length = 0;
+  uint64_t seed = 11;
+};
+
+/// Random walks over the model; the returned database shares the model's
+/// event dictionary. Deterministic in (model, params).
+SequenceDatabase GenerateTraces(const TraceModel& model,
+                                const TraceGenParams& params);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_DATAGEN_TRACE_GENERATOR_H_

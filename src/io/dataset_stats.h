@@ -1,0 +1,24 @@
+// Human-readable dataset statistics reports, used by examples and by the
+// benchmark harnesses to show that generated corpora match the shapes the
+// paper reports for its datasets.
+
+#ifndef GSGROW_IO_DATASET_STATS_H_
+#define GSGROW_IO_DATASET_STATS_H_
+
+#include <string>
+
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// One-line summary, e.g.
+/// "1578 sequences, 75 events, avg length 36.2, max 70".
+std::string FormatStatsLine(const SequenceDatabase& db);
+
+/// Multi-line report with a length histogram (log-scaled buckets).
+std::string FormatStatsReport(const std::string& name,
+                              const SequenceDatabase& db);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_IO_DATASET_STATS_H_

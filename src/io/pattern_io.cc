@@ -1,0 +1,71 @@
+#include "io/pattern_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gsgrow {
+
+std::string WritePatterns(const std::vector<PatternRecord>& records,
+                          const EventDictionary& dictionary) {
+  std::string out = "# support\tpattern\n";
+  for (const PatternRecord& r : records) {
+    out += std::to_string(r.support);
+    out.push_back('\t');
+    out += r.pattern.ToString(dictionary);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::vector<PatternRecord>> ParsePatterns(
+    const std::string& content, EventDictionary* dictionary) {
+  std::vector<PatternRecord> records;
+  std::istringstream in(content);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string> tokens = Split(trimmed, " \t");
+    if (tokens.size() < 2) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected 'support event...'");
+    }
+    int64_t support;
+    if (!ParseInt64(tokens[0], &support) || support < 0) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad support '" + tokens[0] + "'");
+    }
+    std::vector<EventId> events;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      events.push_back(dictionary->Intern(tokens[i]));
+    }
+    records.push_back(PatternRecord{Pattern(std::move(events)),
+                                    static_cast<uint64_t>(support)});
+  }
+  return records;
+}
+
+Status WritePatternsFile(const std::vector<PatternRecord>& records,
+                         const EventDictionary& dictionary,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WritePatterns(records, dictionary);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<PatternRecord>> ReadPatternsFile(
+    const std::string& path, EventDictionary* dictionary) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePatterns(buffer.str(), dictionary);
+}
+
+}  // namespace gsgrow

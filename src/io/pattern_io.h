@@ -1,0 +1,35 @@
+// Serialization of mined pattern sets: "support <TAB> event names..." per
+// line, comments with '#'. Lets downstream tooling (ranking, diffing runs,
+// feature pipelines) consume miner output without linking the library.
+
+#ifndef GSGROW_IO_PATTERN_IO_H_
+#define GSGROW_IO_PATTERN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/event_dictionary.h"
+#include "core/mining_result.h"
+#include "util/status.h"
+
+namespace gsgrow {
+
+/// Serializes records using `dictionary` for event names.
+std::string WritePatterns(const std::vector<PatternRecord>& records,
+                          const EventDictionary& dictionary);
+
+/// Parses records; event names are interned into `dictionary` (so patterns
+/// can be evaluated against any database built with the same dictionary).
+Result<std::vector<PatternRecord>> ParsePatterns(
+    const std::string& content, EventDictionary* dictionary);
+
+/// File wrappers.
+Status WritePatternsFile(const std::vector<PatternRecord>& records,
+                         const EventDictionary& dictionary,
+                         const std::string& path);
+Result<std::vector<PatternRecord>> ReadPatternsFile(
+    const std::string& path, EventDictionary* dictionary);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_IO_PATTERN_IO_H_

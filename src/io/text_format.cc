@@ -1,0 +1,51 @@
+#include "io/text_format.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gsgrow {
+
+Result<SequenceDatabase> ParseTextDatabase(const std::string& content) {
+  SequenceDatabaseBuilder builder;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    builder.AddSequence(Split(trimmed, " \t"));
+  }
+  return builder.Build();
+}
+
+std::string WriteTextDatabase(const SequenceDatabase& db) {
+  std::string out;
+  for (const Sequence& s : db.sequences()) {
+    for (size_t i = 0; i < s.length(); ++i) {
+      if (i > 0) out.push_back(' ');
+      out += db.dictionary().Name(s[static_cast<Position>(i)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<SequenceDatabase> ReadTextDatabaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTextDatabase(buffer.str());
+}
+
+Status WriteTextDatabaseFile(const SequenceDatabase& db,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteTextDatabase(db);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace gsgrow

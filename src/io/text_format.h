@@ -1,0 +1,28 @@
+// Plain-text sequence format: one sequence per line, whitespace-separated
+// event names. Lines starting with '#' are comments; blank lines are
+// skipped. This is the repository's native interchange format.
+
+#ifndef GSGROW_IO_TEXT_FORMAT_H_
+#define GSGROW_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "core/sequence_database.h"
+#include "util/status.h"
+
+namespace gsgrow {
+
+/// Parses a database from text content.
+Result<SequenceDatabase> ParseTextDatabase(const std::string& content);
+
+/// Serializes a database (event names resolved via its dictionary).
+std::string WriteTextDatabase(const SequenceDatabase& db);
+
+/// File wrappers.
+Result<SequenceDatabase> ReadTextDatabaseFile(const std::string& path);
+Status WriteTextDatabaseFile(const SequenceDatabase& db,
+                             const std::string& path);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_IO_TEXT_FORMAT_H_

@@ -1,0 +1,68 @@
+#include "postprocess/filters.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gsgrow {
+
+double PatternDensity(const Pattern& pattern) {
+  if (pattern.empty()) return 0.0;
+  std::unordered_set<EventId> unique(pattern.begin(), pattern.end());
+  return static_cast<double>(unique.size()) /
+         static_cast<double>(pattern.size());
+}
+
+std::vector<PatternRecord> FilterByDensity(
+    const std::vector<PatternRecord>& records, double min_density) {
+  std::vector<PatternRecord> out;
+  for (const PatternRecord& r : records) {
+    if (PatternDensity(r.pattern) > min_density) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PatternRecord> FilterMaximal(
+    const std::vector<PatternRecord>& records) {
+  // Sort indexes by length descending so each pattern is only compared
+  // against longer ones.
+  std::vector<size_t> order(records.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return records[a].pattern.size() > records[b].pattern.size();
+  });
+  std::vector<PatternRecord> out;
+  for (size_t idx : order) {
+    const PatternRecord& r = records[idx];
+    bool maximal = true;
+    for (const PatternRecord& kept : out) {
+      if (r.pattern.size() < kept.pattern.size() &&
+          r.pattern.IsSubsequenceOf(kept.pattern)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<PatternRecord> RankByLength(std::vector<PatternRecord> records) {
+  std::sort(records.begin(), records.end(),
+            [](const PatternRecord& a, const PatternRecord& b) {
+              if (a.pattern.size() != b.pattern.size()) {
+                return a.pattern.size() > b.pattern.size();
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return a.pattern < b.pattern;
+            });
+  return records;
+}
+
+std::vector<PatternRecord> CaseStudyPipeline(
+    const std::vector<PatternRecord>& records,
+    const CaseStudyOptions& options) {
+  return RankByLength(FilterMaximal(
+      FilterByDensity(records, options.min_density)));
+}
+
+}  // namespace gsgrow

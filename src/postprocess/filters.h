@@ -1,0 +1,45 @@
+// Post-processing of mined pattern sets — the §IV-B case-study pipeline:
+//   1. Density: keep patterns whose fraction of unique events exceeds a
+//      threshold (the paper uses > 40%).
+//   2. Maximality: keep only patterns that are not sub-patterns of another
+//      reported pattern.
+//   3. Ranking: order by length, longest first.
+
+#ifndef GSGROW_POSTPROCESS_FILTERS_H_
+#define GSGROW_POSTPROCESS_FILTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/pattern.h"
+
+namespace gsgrow {
+
+/// Fraction of unique events in the pattern, in (0, 1]; 0 for empty.
+double PatternDensity(const Pattern& pattern);
+
+/// Keeps records with PatternDensity > min_density (strict, as in the
+/// paper's "number of unique events is >40% of its length").
+std::vector<PatternRecord> FilterByDensity(
+    const std::vector<PatternRecord>& records, double min_density);
+
+/// Keeps records whose pattern is not a proper sub-pattern of any other
+/// record's pattern (support values are ignored, as in the case study).
+std::vector<PatternRecord> FilterMaximal(
+    const std::vector<PatternRecord>& records);
+
+/// Sorts by descending length; ties by descending support, then pattern.
+std::vector<PatternRecord> RankByLength(std::vector<PatternRecord> records);
+
+/// The full §IV-B pipeline: density > `min_density`, maximality, ranking.
+struct CaseStudyOptions {
+  double min_density = 0.4;
+};
+std::vector<PatternRecord> CaseStudyPipeline(
+    const std::vector<PatternRecord>& records,
+    const CaseStudyOptions& options = {});
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_POSTPROCESS_FILTERS_H_

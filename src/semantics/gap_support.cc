@@ -1,0 +1,84 @@
+#include "semantics/gap_support.h"
+
+#include <limits>
+#include <vector>
+
+namespace gsgrow {
+
+namespace {
+
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  uint64_t s = a + b;
+  if (s < a) return std::numeric_limits<uint64_t>::max();
+  return s;
+}
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+// Shared DP: counts landmark tuples l_1 < .. < l_m with gaps in range.
+// `matches(j, p)` tells whether position p can play pattern index j.
+template <typename MatchFn>
+uint64_t CountTuples(size_t n, size_t m, const GapRequirement& gap,
+                     MatchFn matches) {
+  if (m == 0 || n == 0 || m > n) return 0;
+  std::vector<uint64_t> dp(n, 0);
+  for (size_t p = 0; p < n; ++p) dp[p] = matches(0, p) ? 1 : 0;
+  for (size_t j = 1; j < m; ++j) {
+    // prefix[p] = dp[0] + .. + dp[p-1] (saturating).
+    std::vector<uint64_t> prefix(n + 1, 0);
+    for (size_t p = 0; p < n; ++p) {
+      prefix[p + 1] = SaturatingAdd(prefix[p], dp[p]);
+    }
+    std::vector<uint64_t> next(n, 0);
+    for (size_t p = 0; p < n; ++p) {
+      if (!matches(j, p)) continue;
+      // Previous landmark p' with gap = p - p' - 1 in [min_gap, max_gap]:
+      // p' in [p - 1 - max_gap, p - 1 - min_gap].
+      if (p < 1 + gap.min_gap) continue;
+      const size_t hi = p - gap.min_gap;               // exclusive: p' < hi
+      const size_t lo = (gap.max_gap >= p) ? 0 : p - 1 - gap.max_gap;
+      if (lo >= hi) continue;
+      next[p] = SaturatingSub(prefix[hi], prefix[lo]);
+    }
+    dp.swap(next);
+  }
+  uint64_t total = 0;
+  for (size_t p = 0; p < n; ++p) total = SaturatingAdd(total, dp[p]);
+  return total;
+}
+
+}  // namespace
+
+uint64_t GapOccurrenceCount(const Sequence& sequence, const Pattern& pattern,
+                            const GapRequirement& gap) {
+  return CountTuples(sequence.length(), pattern.size(), gap,
+                     [&](size_t j, size_t p) {
+                       return sequence[static_cast<Position>(p)] == pattern[j];
+                     });
+}
+
+uint64_t GapSupport(const SequenceDatabase& db, const Pattern& pattern,
+                    const GapRequirement& gap) {
+  uint64_t total = 0;
+  for (const Sequence& s : db.sequences()) {
+    total = total + GapOccurrenceCount(s, pattern, gap);
+  }
+  return total;
+}
+
+uint64_t MaxPossibleOccurrences(size_t sequence_length, size_t pattern_length,
+                                const GapRequirement& gap) {
+  return CountTuples(sequence_length, pattern_length, gap,
+                     [](size_t, size_t) { return true; });
+}
+
+double GapSupportRatio(const Sequence& sequence, const Pattern& pattern,
+                       const GapRequirement& gap) {
+  const uint64_t max_possible =
+      MaxPossibleOccurrences(sequence.length(), pattern.size(), gap);
+  if (max_possible == 0) return 0.0;
+  return static_cast<double>(GapOccurrenceCount(sequence, pattern, gap)) /
+         static_cast<double>(max_possible);
+}
+
+}  // namespace gsgrow

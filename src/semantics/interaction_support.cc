@@ -1,0 +1,53 @@
+#include "semantics/interaction_support.h"
+
+#include <vector>
+
+namespace gsgrow {
+
+namespace {
+
+bool RangeContains(const Sequence& s, const Pattern& p, size_t lo,
+                   size_t hi_inclusive) {
+  size_t j = 0;
+  for (size_t q = lo; q <= hi_inclusive && j < p.size(); ++q) {
+    if (s[q] == p[j]) ++j;
+  }
+  return j == p.size();
+}
+
+}  // namespace
+
+uint64_t InteractionOccurrenceCount(const Sequence& sequence,
+                                    const Pattern& pattern) {
+  if (pattern.empty()) return 0;
+  const size_t n = sequence.length();
+  if (pattern.size() == 1) {
+    uint64_t count = 0;
+    for (size_t p = 0; p < n; ++p) count += (sequence[p] == pattern[0]);
+    return count;
+  }
+  std::vector<size_t> starts, ends;
+  for (size_t p = 0; p < n; ++p) {
+    if (sequence[p] == pattern[0]) starts.push_back(p);
+    if (sequence[p] == pattern[pattern.size() - 1]) ends.push_back(p);
+  }
+  uint64_t count = 0;
+  for (size_t s : starts) {
+    for (size_t e : ends) {
+      if (e <= s) continue;
+      count += RangeContains(sequence, pattern, s, e);
+    }
+  }
+  return count;
+}
+
+uint64_t InteractionSupport(const SequenceDatabase& db,
+                            const Pattern& pattern) {
+  uint64_t total = 0;
+  for (const Sequence& s : db.sequences()) {
+    total += InteractionOccurrenceCount(s, pattern);
+  }
+  return total;
+}
+
+}  // namespace gsgrow

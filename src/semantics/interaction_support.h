@@ -1,0 +1,30 @@
+// Interaction-pattern support (El-Ramly, Stroulia & Sorenson, KDD 2002),
+// Table I row 4: the support of a pattern is the number of substrings whose
+// first/last events match the pattern's first/last events and which contain
+// the pattern as a subsequence. Occurrences may overlap heavily.
+
+#ifndef GSGROW_SEMANTICS_INTERACTION_SUPPORT_H_
+#define GSGROW_SEMANTICS_INTERACTION_SUPPORT_H_
+
+#include <cstdint>
+
+#include "core/pattern.h"
+#include "core/sequence.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Number of qualifying substrings of `sequence` (pairs of positions (s, e),
+/// s <= e, with S[s] = pattern.front(), S[e] = pattern.back(), and the
+/// pattern contained in S[s..e]). For a size-1 pattern this is simply its
+/// occurrence count.
+uint64_t InteractionOccurrenceCount(const Sequence& sequence,
+                                    const Pattern& pattern);
+
+/// Sum over all sequences of the database.
+uint64_t InteractionSupport(const SequenceDatabase& db,
+                            const Pattern& pattern);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SEMANTICS_INTERACTION_SUPPORT_H_

@@ -1,0 +1,45 @@
+#include "semantics/iterative_support.h"
+
+#include <unordered_set>
+
+namespace gsgrow {
+
+uint64_t IterativeOccurrenceCount(const Sequence& sequence,
+                                  const Pattern& pattern) {
+  if (pattern.empty()) return 0;
+  std::unordered_set<EventId> alphabet(pattern.begin(), pattern.end());
+  const size_t n = sequence.length();
+  uint64_t count = 0;
+  for (size_t start = 0; start < n; ++start) {
+    if (sequence[start] != pattern[0]) continue;
+    size_t j = 1;  // next expected pattern index
+    if (j == pattern.size()) {  // size-1 pattern: every e_1 is an occurrence
+      ++count;
+      continue;
+    }
+    for (size_t q = start + 1; q < n; ++q) {
+      const EventId e = sequence[q];
+      if (!alphabet.count(e)) continue;  // event in G: skip
+      if (e == pattern[j]) {
+        ++j;
+        if (j == pattern.size()) {
+          ++count;
+          break;
+        }
+      } else {
+        break;  // unexpected pattern event: QRE match fails for this start
+      }
+    }
+  }
+  return count;
+}
+
+uint64_t IterativeSupport(const SequenceDatabase& db, const Pattern& pattern) {
+  uint64_t total = 0;
+  for (const Sequence& s : db.sequences()) {
+    total += IterativeOccurrenceCount(s, pattern);
+  }
+  return total;
+}
+
+}  // namespace gsgrow

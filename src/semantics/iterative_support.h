@@ -1,0 +1,30 @@
+// Iterative-pattern support (Lo, Khoo & Liu, KDD 2007), Table I row 5:
+// an occurrence of pattern e_1..e_n is a substring matching the quantified
+// regular expression  e_1 G* e_2 G* ... G* e_n  where G is the set of all
+// events EXCEPT {e_1, .., e_n} — i.e. between consecutive pattern events no
+// other pattern event may appear (MSC/LSC semantics). The support is the
+// total number of such occurrences.
+
+#ifndef GSGROW_SEMANTICS_ITERATIVE_SUPPORT_H_
+#define GSGROW_SEMANTICS_ITERATIVE_SUPPORT_H_
+
+#include <cstdint>
+
+#include "core/pattern.h"
+#include "core/sequence.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Number of QRE occurrences of `pattern` in `sequence`. Each start
+/// position of e_1 yields at most one occurrence (the QRE match is
+/// deterministic: the next pattern-alphabet event must be the expected one).
+uint64_t IterativeOccurrenceCount(const Sequence& sequence,
+                                  const Pattern& pattern);
+
+/// Sum over all sequences of the database.
+uint64_t IterativeSupport(const SequenceDatabase& db, const Pattern& pattern);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SEMANTICS_ITERATIVE_SUPPORT_H_

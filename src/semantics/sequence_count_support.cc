@@ -1,0 +1,21 @@
+#include "semantics/sequence_count_support.h"
+
+namespace gsgrow {
+
+bool ContainsPattern(const Sequence& sequence, const Pattern& pattern) {
+  size_t j = 0;
+  for (Position p = 0; p < sequence.length() && j < pattern.size(); ++p) {
+    if (sequence[p] == pattern[j]) ++j;
+  }
+  return j == pattern.size();
+}
+
+uint64_t SequenceCount(const SequenceDatabase& db, const Pattern& pattern) {
+  uint64_t count = 0;
+  for (const Sequence& s : db.sequences()) {
+    count += ContainsPattern(s, pattern);
+  }
+  return count;
+}
+
+}  // namespace gsgrow

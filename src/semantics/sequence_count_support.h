@@ -1,0 +1,24 @@
+// Classic sequential-pattern support (Agrawal & Srikant, ICDE 1995),
+// Table I row 1: the number of sequences containing the pattern, ignoring
+// repetitions within a sequence.
+
+#ifndef GSGROW_SEMANTICS_SEQUENCE_COUNT_SUPPORT_H_
+#define GSGROW_SEMANTICS_SEQUENCE_COUNT_SUPPORT_H_
+
+#include <cstdint>
+
+#include "core/pattern.h"
+#include "core/sequence.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// True iff `pattern` is a subsequence of `sequence`.
+bool ContainsPattern(const Sequence& sequence, const Pattern& pattern);
+
+/// Number of sequences of `db` containing `pattern`.
+uint64_t SequenceCount(const SequenceDatabase& db, const Pattern& pattern);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SEMANTICS_SEQUENCE_COUNT_SUPPORT_H_

@@ -1,0 +1,67 @@
+#include "semantics/window_support.h"
+
+namespace gsgrow {
+
+namespace {
+
+// Pattern containment inside the half-open position range [lo, hi).
+bool RangeContains(const Sequence& s, const Pattern& p, size_t lo, size_t hi) {
+  size_t j = 0;
+  for (size_t q = lo; q < hi && j < p.size(); ++q) {
+    if (s[q] == p[j]) ++j;
+  }
+  return j == p.size();
+}
+
+}  // namespace
+
+uint64_t FixedWindowCount(const Sequence& sequence, const Pattern& pattern,
+                          size_t w) {
+  if (pattern.empty() || w == 0 || sequence.length() < w) return 0;
+  uint64_t count = 0;
+  for (size_t start = 0; start + w <= sequence.length(); ++start) {
+    count += RangeContains(sequence, pattern, start, start + w);
+  }
+  return count;
+}
+
+uint64_t FixedWindowSupport(const SequenceDatabase& db, const Pattern& pattern,
+                            size_t w) {
+  uint64_t total = 0;
+  for (const Sequence& s : db.sequences()) {
+    total += FixedWindowCount(s, pattern, w);
+  }
+  return total;
+}
+
+uint64_t MinimalWindowCount(const Sequence& sequence, const Pattern& pattern) {
+  if (pattern.empty()) return 0;
+  const size_t n = sequence.length();
+  uint64_t count = 0;
+  // A window [lo, hi) is minimal iff it contains the pattern while neither
+  // [lo+1, hi) nor [lo, hi-1) does; any strictly smaller containing window
+  // would be inside one of those two.
+  for (size_t lo = 0; lo < n; ++lo) {
+    if (sequence[lo] != pattern[0]) continue;  // minimal windows start on e1
+    for (size_t hi = lo + pattern.size(); hi <= n; ++hi) {
+      if (!RangeContains(sequence, pattern, lo, hi)) continue;
+      const bool shrink_left = RangeContains(sequence, pattern, lo + 1, hi);
+      const bool shrink_right =
+          hi > lo && RangeContains(sequence, pattern, lo, hi - 1);
+      if (!shrink_left && !shrink_right) ++count;
+      break;  // larger windows with this lo are supersets, never minimal
+    }
+  }
+  return count;
+}
+
+uint64_t MinimalWindowSupport(const SequenceDatabase& db,
+                              const Pattern& pattern) {
+  uint64_t total = 0;
+  for (const Sequence& s : db.sequences()) {
+    total += MinimalWindowCount(s, pattern);
+  }
+  return total;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,43 @@
+// Episode-style support (Mannila, Toivonen & Verkamo, DMKD 1997), the first
+// row of the paper's Table I for single-sequence repetition mining.
+//
+// Two definitions for a serial episode (our gapped pattern):
+//  (i)  the number of width-w windows (substrings) containing the pattern as
+//       a subsequence;
+//  (ii) the number of minimal windows containing the pattern (windows that
+//       contain it while neither of their one-step shrinkings does).
+// Occurrences may overlap; both counts are per sequence and summed over the
+// database by the *Total functions.
+
+#ifndef GSGROW_SEMANTICS_WINDOW_SUPPORT_H_
+#define GSGROW_SEMANTICS_WINDOW_SUPPORT_H_
+
+#include <cstdint>
+
+#include "core/pattern.h"
+#include "core/sequence.h"
+#include "core/sequence_database.h"
+
+namespace gsgrow {
+
+/// Number of width-`w` windows of `sequence` containing `pattern` as a
+/// subsequence (definition (i)). Windows start at every position
+/// 0..len-w; sequences shorter than w have no windows.
+uint64_t FixedWindowCount(const Sequence& sequence, const Pattern& pattern,
+                          size_t w);
+
+/// Sum of FixedWindowCount over all sequences.
+uint64_t FixedWindowSupport(const SequenceDatabase& db, const Pattern& pattern,
+                            size_t w);
+
+/// Number of minimal windows of `sequence` containing `pattern`
+/// (definition (ii)).
+uint64_t MinimalWindowCount(const Sequence& sequence, const Pattern& pattern);
+
+/// Sum of MinimalWindowCount over all sequences.
+uint64_t MinimalWindowSupport(const SequenceDatabase& db,
+                              const Pattern& pattern);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SEMANTICS_WINDOW_SUPPORT_H_

@@ -1,0 +1,40 @@
+// Invariant-checking macros.
+//
+// GSGROW_CHECK(cond) aborts with a message on violation in all build types;
+// it guards invariants whose violation would make mining results silently
+// wrong. GSGROW_DCHECK compiles away in release builds and guards hot-path
+// invariants.
+
+#ifndef GSGROW_UTIL_LOGGING_H_
+#define GSGROW_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define GSGROW_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "GSGROW_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define GSGROW_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "GSGROW_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define GSGROW_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define GSGROW_DCHECK(cond) GSGROW_CHECK(cond)
+#endif
+
+#endif  // GSGROW_UTIL_LOGGING_H_

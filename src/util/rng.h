@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// All data generators in this repository use this RNG rather than <random>
+// distributions so that a (seed, parameters) pair produces the same dataset
+// on every platform and standard library. The engine is xoshiro256**
+// seeded via splitmix64.
+
+#ifndef GSGROW_UTIL_RNG_H_
+#define GSGROW_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gsgrow {
+
+/// Deterministic xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the engine; identical seeds give identical streams everywhere.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed value with the given mean (mean > 0).
+  /// Uses Knuth's method for small means and a normal approximation above 60.
+  uint64_t Poisson(double mean);
+
+  /// Exponentially distributed value with the given mean.
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Zipf-distributed integers over {0, .., n-1} with exponent `s`.
+///
+/// Implemented with a precomputed CDF table (n is at most a few tens of
+/// thousands in our generators), sampled by binary search.
+class ZipfDistribution {
+ public:
+  /// n > 0; s >= 0 (s = 0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws one rank; rank 0 is the most probable.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_UTIL_RNG_H_

@@ -1,0 +1,132 @@
+// Lightweight Status / Result<T> error types for I/O-facing APIs.
+//
+// Follows the RocksDB/Arrow idiom: library code that can fail for
+// environmental reasons (missing file, malformed input) returns a Status or
+// Result<T> instead of throwing. Pure in-memory mining code uses invariants
+// checked with GSGROW_CHECK (see logging.h) and never returns Status.
+
+#ifndef GSGROW_UTIL_STATUS_H_
+#define GSGROW_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gsgrow {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+};
+
+/// Returns a short human-readable name for a status code ("IOError", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kIOError: return "IOError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+/// Outcome of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Outcome of an operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error.
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  /// Status of the operation; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(value_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace gsgrow
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define GSGROW_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::gsgrow::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // GSGROW_UTIL_STATUS_H_

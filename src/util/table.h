@@ -1,0 +1,42 @@
+// Column-aligned plain-text tables for benchmark and example output.
+//
+// The benchmark harnesses print paper-figure data as rows; this formatter
+// keeps them readable in a terminal and greppable in bench_output.txt.
+
+#ifndef GSGROW_UTIL_TABLE_H_
+#define GSGROW_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsgrow {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Sets the header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a separator line under the header.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Formats seconds adaptively ("3.21 s", "45.1 ms").
+std::string FormatSeconds(double seconds);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_UTIL_TABLE_H_

@@ -1,0 +1,55 @@
+// Wall-clock timing and time budgets for miners and benchmarks.
+
+#ifndef GSGROW_UTIL_TIMER_H_
+#define GSGROW_UTIL_TIMER_H_
+
+#include <chrono>
+#include <limits>
+
+namespace gsgrow {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Deadline helper: tells long-running loops when to give up.
+///
+/// A default-constructed budget never expires. Checking is cheap enough to
+/// call every few thousand operations, but callers in tight loops should
+/// poll at node granularity.
+class TimeBudget {
+ public:
+  /// Unlimited budget.
+  TimeBudget() : seconds_(std::numeric_limits<double>::infinity()) {}
+
+  /// Budget of `seconds` of wall-clock time from construction.
+  explicit TimeBudget(double seconds) : seconds_(seconds) {}
+
+  bool Expired() const { return timer_.ElapsedSeconds() >= seconds_; }
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double LimitSeconds() const { return seconds_; }
+  bool IsUnlimited() const {
+    return seconds_ == std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  WallTimer timer_;
+  double seconds_;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_UTIL_TIMER_H_

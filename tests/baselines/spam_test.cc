@@ -1,0 +1,76 @@
+#include "baselines/spam.h"
+
+#include "gtest/gtest.h"
+
+#include "baselines/prefixspan.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::AsSet;
+
+TEST(Spam, TinyExactOutput) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "AB", "BA"});
+  SequentialMinerOptions options;
+  options.min_support = 2;
+  MiningResult result = MineSpam(db, options);
+  std::set<std::pair<std::string, uint64_t>> expected = {
+      {"A", 3}, {"B", 3}, {"AB", 2}};
+  EXPECT_EQ(AsSet(db, result.patterns), expected);
+}
+
+TEST(Spam, MatchesPrefixSpanOnRandomDatabases) {
+  Rng rng(909);
+  for (int round = 0; round < 25; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 4, 1, 10, 3);
+    for (uint64_t min_sup : {1, 2, 3}) {
+      SequentialMinerOptions options;
+      options.min_support = min_sup;
+      EXPECT_EQ(AsSet(db, MineSpam(db, options).patterns),
+                AsSet(db, MinePrefixSpan(db, options).patterns))
+          << "round=" << round << " min_sup=" << min_sup;
+    }
+  }
+}
+
+TEST(Spam, LongSequencesCrossWordBoundaries) {
+  // Sequences longer than 64 events exercise multi-word bitmap ranges.
+  std::string long_row;
+  for (int i = 0; i < 50; ++i) long_row += "ABC";
+  SequenceDatabase db = MakeDatabaseFromStrings({long_row, "ABC", "CBA"});
+  SequentialMinerOptions options;
+  options.min_support = 2;
+  EXPECT_EQ(AsSet(db, MineSpam(db, options).patterns),
+            AsSet(db, MinePrefixSpan(db, options).patterns));
+}
+
+TEST(Spam, EmptyDatabase) {
+  SequenceDatabase db;
+  SequentialMinerOptions options;
+  options.min_support = 1;
+  EXPECT_TRUE(MineSpam(db, options).patterns.empty());
+}
+
+TEST(Spam, MaxPatternsTruncates) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD", "ABCD"});
+  SequentialMinerOptions options;
+  options.min_support = 2;
+  options.max_patterns = 2;
+  MiningResult result = MineSpam(db, options);
+  EXPECT_EQ(result.patterns.size(), 2u);
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(Spam, MaxLengthCap) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD", "ABCD"});
+  SequentialMinerOptions options;
+  options.min_support = 2;
+  options.max_pattern_length = 2;
+  for (const PatternRecord& r : MineSpam(db, options).patterns) {
+    EXPECT_LE(r.pattern.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,148 @@
+#include "core/clogsgrow.h"
+
+#include "gtest/gtest.h"
+
+#include "core/gsgrow.h"
+#include "core/reference.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::AsSet;
+
+TEST(CloGSgrow, ClosedSubsetOfAllFrequent) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  MinerOptions options;
+  options.min_support = 2;
+  auto all = AsSet(db, MineAllFrequent(db, options).patterns);
+  auto closed = AsSet(db, MineClosedFrequent(db, options).patterns);
+  for (const auto& p : closed) {
+    EXPECT_TRUE(all.count(p)) << p.first;
+  }
+  EXPECT_LT(closed.size(), all.size());
+}
+
+TEST(CloGSgrow, EqualsClosureFilteredReference) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  for (uint64_t min_sup : {1, 2, 3, 4}) {
+    MinerOptions options;
+    options.min_support = min_sup;
+    MiningResult closed = MineClosedFrequent(db, options);
+    std::vector<PatternRecord> expected =
+        FilterClosed(ReferenceMineAll(db, min_sup));
+    EXPECT_EQ(AsSet(db, closed.patterns), AsSet(db, expected))
+        << "min_sup=" << min_sup;
+  }
+}
+
+TEST(CloGSgrow, SingletonDatabase) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAAA"});
+  MinerOptions options;
+  options.min_support = 1;
+  MiningResult closed = MineClosedFrequent(db, options);
+  // Supports strictly decrease with length (4, 3, 2, 1), so every pattern
+  // A..AAAA is closed.
+  auto set = AsSet(db, closed.patterns);
+  std::set<std::pair<std::string, uint64_t>> expected = {
+      {"A", 4}, {"AA", 3}, {"AAA", 2}, {"AAAA", 1}};
+  EXPECT_EQ(set, expected);
+}
+
+TEST(CloGSgrow, LandmarkBorderPruningPreservesOutput) {
+  Rng rng(777);
+  for (int round = 0; round < 15; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 3, 2, 12, 3);
+    for (uint64_t min_sup : {1, 2, 3}) {
+      MinerOptions with_lb;
+      with_lb.min_support = min_sup;
+      with_lb.use_landmark_border_pruning = true;
+      MinerOptions without_lb = with_lb;
+      without_lb.use_landmark_border_pruning = false;
+      EXPECT_EQ(AsSet(db, MineClosedFrequent(db, with_lb).patterns),
+                AsSet(db, MineClosedFrequent(db, without_lb).patterns))
+          << "round=" << round << " min_sup=" << min_sup;
+    }
+  }
+}
+
+TEST(CloGSgrow, InsertCandidateFilterPreservesOutput) {
+  Rng rng(888);
+  for (int round = 0; round < 15; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 3, 2, 12, 3);
+    MinerOptions with_filter;
+    with_filter.min_support = 2;
+    with_filter.use_insert_candidate_filter = true;
+    MinerOptions without_filter = with_filter;
+    without_filter.use_insert_candidate_filter = false;
+    EXPECT_EQ(AsSet(db, MineClosedFrequent(db, with_filter).patterns),
+              AsSet(db, MineClosedFrequent(db, without_filter).patterns))
+        << "round=" << round;
+  }
+}
+
+TEST(CloGSgrow, LBCheckActuallyPrunes) {
+  // Example 3.6's database: the AA subtree is prunable.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  MinerOptions options;
+  options.min_support = 3;
+  MiningResult with_lb = MineClosedFrequent(db, options);
+  options.use_landmark_border_pruning = false;
+  MiningResult without_lb = MineClosedFrequent(db, options);
+  EXPECT_GT(with_lb.stats.lb_pruned_subtrees, 0u);
+  EXPECT_LT(with_lb.stats.nodes_visited, without_lb.stats.nodes_visited);
+}
+
+TEST(CloGSgrow, EveryEmittedPatternIsActuallyClosed) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  InvertedIndex index(db);
+  MinerOptions options;
+  options.min_support = 2;
+  MiningResult closed = MineClosedFrequent(db, options);
+  for (const PatternRecord& r : closed.patterns) {
+    // Check all single-event extensions keep strictly smaller support.
+    for (size_t gap = 0; gap <= r.pattern.size(); ++gap) {
+      for (EventId e = 0; e < db.AlphabetSize(); ++e) {
+        Pattern ext = r.pattern.InsertAt(gap, e);
+        EXPECT_LT(ComputeSupport(index, ext), r.support)
+            << r.pattern.ToCompactString(db.dictionary()) << " + "
+            << db.dictionary().Name(e) << " at " << gap;
+      }
+    }
+  }
+}
+
+TEST(CloGSgrow, NodeAccountingIdentity) {
+  // Without truncation, every visited node is exactly one of: emitted,
+  // suppressed as non-closed, or the root of an LBCheck-pruned subtree.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCABCABC"});
+  MinerOptions options;
+  options.min_support = 2;
+  MiningResult closed = MineClosedFrequent(db, options);
+  ASSERT_FALSE(closed.stats.truncated);
+  EXPECT_EQ(closed.stats.nonclosed_suppressed + closed.patterns.size() +
+                closed.stats.lb_pruned_subtrees,
+            closed.stats.nodes_visited);
+  MiningResult all = MineAllFrequent(db, options);
+  EXPECT_LE(closed.patterns.size(), all.patterns.size());
+}
+
+TEST(CloGSgrow, MaxPatternsTruncates) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCABCABC", "CBACBA"});
+  MinerOptions options;
+  options.min_support = 1;
+  options.max_patterns = 2;
+  MiningResult result = MineClosedFrequent(db, options);
+  EXPECT_EQ(result.patterns.size(), 2u);
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(CloGSgrow, EmptyDatabase) {
+  SequenceDatabase db;
+  MinerOptions options;
+  options.min_support = 1;
+  EXPECT_TRUE(MineClosedFrequent(db, options).patterns.empty());
+}
+
+}  // namespace
+}  // namespace gsgrow

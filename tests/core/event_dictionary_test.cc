@@ -1,0 +1,50 @@
+#include "core/event_dictionary.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(EventDictionary, InternAssignsDenseIdsInFirstSeenOrder) {
+  EventDictionary d;
+  EXPECT_EQ(d.Intern("open"), 0u);
+  EXPECT_EQ(d.Intern("close"), 1u);
+  EXPECT_EQ(d.Intern("read"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(EventDictionary, InternIsIdempotent) {
+  EventDictionary d;
+  EventId a = d.Intern("x");
+  EventId b = d.Intern("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(EventDictionary, LookupKnownAndUnknown) {
+  EventDictionary d;
+  d.Intern("a");
+  EXPECT_EQ(d.Lookup("a"), 0u);
+  EXPECT_EQ(d.Lookup("zz"), kNoEvent);
+}
+
+TEST(EventDictionary, NameRoundTrip) {
+  EventDictionary d;
+  EventId id = d.Intern("TxManager.begin");
+  EXPECT_EQ(d.Name(id), "TxManager.begin");
+}
+
+TEST(EventDictionary, NameSynthesizesForUnknownIds) {
+  EventDictionary d;
+  EXPECT_EQ(d.Name(17), "e17");
+  EXPECT_FALSE(d.Contains(17));
+}
+
+TEST(EventDictionary, EmptyDictionary) {
+  EventDictionary d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.Lookup("anything"), kNoEvent);
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,75 @@
+#include "core/feature_extraction.h"
+
+#include "gtest/gtest.h"
+
+#include "core/instance_growth.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::MakePattern;
+
+TEST(FeatureExtraction, MatrixShape) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB", "AB", "BA"});
+  std::vector<Pattern> patterns = {MakePattern(db, "AB"),
+                                   MakePattern(db, "A")};
+  FeatureMatrix fm = ExtractFeatures(db, patterns);
+  EXPECT_EQ(fm.num_sequences(), 3u);
+  EXPECT_EQ(fm.num_features(), 2u);
+}
+
+TEST(FeatureExtraction, ValuesArePerSequenceSupports) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB", "AB", "BA"});
+  FeatureMatrix fm = ExtractFeatures(db, {MakePattern(db, "AB")});
+  EXPECT_EQ(fm.rows[0][0], 2u);
+  EXPECT_EQ(fm.rows[1][0], 1u);
+  EXPECT_EQ(fm.rows[2][0], 0u);
+}
+
+TEST(FeatureExtraction, MatchesPerSequenceSupportHelper) {
+  SequenceDatabase db =
+      MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  InvertedIndex index(db);
+  std::vector<Pattern> patterns = {MakePattern(db, "ACB"),
+                                   MakePattern(db, "AB"),
+                                   MakePattern(db, "D")};
+  FeatureMatrix fm = ExtractFeatures(index, patterns);
+  for (size_t j = 0; j < patterns.size(); ++j) {
+    std::vector<uint32_t> expected = PerSequenceSupport(index, patterns[j]);
+    for (size_t i = 0; i < fm.num_sequences(); ++i) {
+      EXPECT_EQ(fm.rows[i][j], expected[i]);
+    }
+  }
+}
+
+TEST(FeatureExtraction, EmptyPatternList) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  FeatureMatrix fm = ExtractFeatures(db, {});
+  EXPECT_EQ(fm.num_features(), 0u);
+  EXPECT_EQ(fm.num_sequences(), 1u);
+}
+
+TEST(DiscriminativeScores, SeparatesGroups) {
+  // Group 1 sequences repeat AB heavily; group 0 barely contains it.
+  SequenceDatabase db = MakeDatabaseFromStrings(
+      {"ABABABAB", "ABABAB", "CDCD", "CDC"});
+  FeatureMatrix fm =
+      ExtractFeatures(db, {testing::MakePattern(db, "AB"),
+                           testing::MakePattern(db, "CD")});
+  std::vector<bool> labels = {true, true, false, false};
+  std::vector<double> scores = DiscriminativeScores(fm, labels);
+  EXPECT_GT(scores[0], 2.9);  // AB: mean 3.5 vs 0
+  EXPECT_GT(scores[1], 1.4);  // CD: mean 0 vs 1.5
+}
+
+TEST(DiscriminativeScores, DegenerateSingleGroup) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "AB"});
+  FeatureMatrix fm = ExtractFeatures(db, {testing::MakePattern(db, "AB")});
+  std::vector<double> scores =
+      DiscriminativeScores(fm, {true, true});
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,178 @@
+#include "core/instance_growth.h"
+
+#include "gtest/gtest.h"
+
+#include "core/inverted_index.h"
+#include "core/reference.h"
+#include "core/sequence_database.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::MakePattern;
+
+TEST(RootInstances, AllOccurrencesInRightShiftOrder) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABA", "BAA"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  SupportSet set = RootInstances(idx, a);
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_TRUE(IsRightShiftSorted(set));
+  EXPECT_EQ(set[0], (Instance{0, 0, 0}));
+  EXPECT_EQ(set[1], (Instance{0, 2, 2}));
+  EXPECT_EQ(set[2], (Instance{1, 1, 1}));
+  EXPECT_EQ(set[3], (Instance{1, 2, 2}));
+}
+
+TEST(RootInstances, AbsentEventGivesEmptySet) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABA"});
+  InvertedIndex idx(db);
+  EXPECT_TRUE(RootInstances(idx, 99).empty());
+}
+
+TEST(GrowSupportSet, SimpleGrowth) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet set = RootInstances(idx, a);
+  SupportSet grown = GrowSupportSet(idx, set, b);
+  ASSERT_EQ(grown.size(), 2u);
+  EXPECT_EQ(grown[0], (Instance{0, 0, 2}));
+  EXPECT_EQ(grown[1], (Instance{0, 1, 3}));
+}
+
+TEST(GrowSupportSet, BreaksOutOfSequenceWhenExhausted) {
+  // Only one B: the first A gets it; the second A cannot extend; the growth
+  // must also not wrap around into the next sequence's events.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAB", "B"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet grown = GrowSupportSet(idx, RootInstances(idx, a), b);
+  ASSERT_EQ(grown.size(), 1u);
+  EXPECT_EQ(grown[0], (Instance{0, 0, 2}));
+}
+
+TEST(GrowSupportSet, NonOverlapWithinSequence) {
+  // ABAB: two non-overlapping ABs.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet grown = GrowSupportSet(idx, RootInstances(idx, a), b);
+  ASSERT_EQ(grown.size(), 2u);
+  EXPECT_EQ(grown[0], (Instance{0, 0, 1}));
+  EXPECT_EQ(grown[1], (Instance{0, 2, 3}));
+}
+
+TEST(GrowSupportSet, LastPositionConstraintSkipsConsumedEvents) {
+  // AAB B: first A takes first B (pos 2), second A must take pos 3.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet grown = GrowSupportSet(idx, RootInstances(idx, a), b);
+  EXPECT_EQ(grown[1].last, 3u);
+}
+
+TEST(GrowSupportSet, EmptyInputYieldsEmptyOutput) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  InvertedIndex idx(db);
+  SupportSet empty;
+  EXPECT_TRUE(GrowSupportSet(idx, empty, 0).empty());
+}
+
+TEST(ComputeSupportSet, EmptyPattern) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  InvertedIndex idx(db);
+  EXPECT_TRUE(ComputeSupportSet(idx, Pattern()).empty());
+  EXPECT_EQ(ComputeSupport(idx, Pattern()), 0u);
+}
+
+TEST(ComputeSupportSet, PatternLongerThanAnySequence) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "ABAB")), 0u);
+}
+
+TEST(ComputeSupportSet, PatternWithAbsentEvent) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "CD"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AD")), 0u);
+}
+
+TEST(ComputeSupportSet, SingleEventSupportIsTotalCount) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABA", "BA"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "A")), 4u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "B")), 2u);
+}
+
+TEST(ComputeSupportSet, RepeatedEventPattern) {
+  // AAAA: overlap is per pattern index (Definition 2.3), so instances of AA
+  // may chain: (0,1), (1,2), (2,3) are pairwise non-overlapping -> sup 3.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAAA"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AA")), 3u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AAA")), 2u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AAAA")), 1u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AAAAA")), 0u);
+}
+
+TEST(ComputeSupportSet, OverCountingExampleFromPaperSection2) {
+  // SeqDB = {AABBCC}: the naive all-instances count of AB would be 4;
+  // repetitive support is 2.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABBCC"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(EnumerateLandmarks(db[0], MakePattern(db, "AB")).size(), 4u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "AB")), 2u);
+  EXPECT_EQ(ComputeSupport(idx, MakePattern(db, "ABC")), 2u);
+}
+
+TEST(ComputeFullSupportSet, MatchesCompressedTriples) {
+  SequenceDatabase db =
+      MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  InvertedIndex idx(db);
+  for (const char* pat : {"A", "AB", "ACB", "ACA", "AAD", "ABD", "ACAD"}) {
+    Pattern p = MakePattern(db, pat);
+    SupportSet triples = ComputeSupportSet(idx, p);
+    std::vector<FullInstance> full = ComputeFullSupportSet(idx, p);
+    ASSERT_EQ(triples.size(), full.size()) << pat;
+    for (size_t k = 0; k < full.size(); ++k) {
+      EXPECT_EQ(triples[k].seq, full[k].seq) << pat;
+      EXPECT_EQ(triples[k].first, full[k].landmark.front()) << pat;
+      EXPECT_EQ(triples[k].last, full[k].landmark.back()) << pat;
+      EXPECT_EQ(full[k].landmark.size(), p.size()) << pat;
+    }
+  }
+}
+
+TEST(ComputeFullSupportSet, LandmarksStrictlyIncrease) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABABABAB"});
+  InvertedIndex idx(db);
+  for (const FullInstance& inst :
+       ComputeFullSupportSet(idx, MakePattern(db, "ABA"))) {
+    for (size_t j = 1; j < inst.landmark.size(); ++j) {
+      EXPECT_LT(inst.landmark[j - 1], inst.landmark[j]);
+    }
+  }
+}
+
+TEST(PerSequenceSupport, DecomposesTotalSupport) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB", "AB", "BA"});
+  InvertedIndex idx(db);
+  Pattern ab = MakePattern(db, "AB");
+  std::vector<uint32_t> per_seq = PerSequenceSupport(idx, ab);
+  ASSERT_EQ(per_seq.size(), 3u);
+  EXPECT_EQ(per_seq[0], 2u);
+  EXPECT_EQ(per_seq[1], 1u);
+  EXPECT_EQ(per_seq[2], 0u);
+  uint64_t total = 0;
+  for (uint32_t c : per_seq) total += c;
+  EXPECT_EQ(total, ComputeSupport(idx, ab));
+}
+
+}  // namespace
+}  // namespace gsgrow

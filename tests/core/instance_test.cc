@@ -1,0 +1,56 @@
+#include "core/instance.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(RightShiftOrder, SequenceIdDominates) {
+  // Definition 3.1: (i < i') first, then last positions.
+  EXPECT_TRUE(RightShiftLess({0, 5, 9}, {1, 0, 0}));
+  EXPECT_FALSE(RightShiftLess({1, 0, 0}, {0, 5, 9}));
+}
+
+TEST(RightShiftOrder, LastPositionBreaksTies) {
+  EXPECT_TRUE(RightShiftLess({0, 3, 4}, {0, 1, 7}));
+  EXPECT_FALSE(RightShiftLess({0, 1, 7}, {0, 3, 4}));
+}
+
+TEST(RightShiftOrder, EqualKeysNotLess) {
+  Instance a{2, 1, 5};
+  Instance b{2, 3, 5};  // same seq and last, different first
+  EXPECT_FALSE(RightShiftLess(a, b));
+  EXPECT_FALSE(RightShiftLess(b, a));
+}
+
+TEST(IsRightShiftSorted, AcceptsSortedSets) {
+  SupportSet set = {{0, 0, 1}, {0, 2, 3}, {1, 0, 0}, {1, 1, 4}};
+  EXPECT_TRUE(IsRightShiftSorted(set));
+}
+
+TEST(IsRightShiftSorted, RejectsOutOfOrder) {
+  SupportSet set = {{0, 2, 3}, {0, 0, 1}};
+  EXPECT_FALSE(IsRightShiftSorted(set));
+}
+
+TEST(IsRightShiftSorted, RejectsDuplicateLastWithinSequence) {
+  // Strict order implies distinct last positions per sequence, which the
+  // non-overlap invariant requires at the final pattern index.
+  SupportSet set = {{0, 0, 3}, {0, 1, 3}};
+  EXPECT_FALSE(IsRightShiftSorted(set));
+}
+
+TEST(IsRightShiftSorted, EmptyAndSingleton) {
+  EXPECT_TRUE(IsRightShiftSorted({}));
+  EXPECT_TRUE(IsRightShiftSorted({{3, 1, 2}}));
+}
+
+TEST(Instance, EqualityComparesAllFields) {
+  EXPECT_EQ((Instance{1, 2, 3}), (Instance{1, 2, 3}));
+  EXPECT_NE((Instance{1, 2, 3}), (Instance{1, 2, 4}));
+  EXPECT_NE((Instance{1, 2, 3}), (Instance{0, 2, 3}));
+  EXPECT_NE((Instance{1, 2, 3}), (Instance{1, 0, 3}));
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,148 @@
+#include "core/inverted_index.h"
+
+#include "gtest/gtest.h"
+
+#include "core/sequence_database.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  // S1 = ABCACBDDB, S2 = ACDBACADD (Table III of the paper).
+  SequenceDatabase db_ = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  InvertedIndex index_{db_};
+  EventId A_ = db_.dictionary().Lookup("A");
+  EventId B_ = db_.dictionary().Lookup("B");
+  EventId C_ = db_.dictionary().Lookup("C");
+  EventId D_ = db_.dictionary().Lookup("D");
+};
+
+TEST_F(InvertedIndexTest, PositionsAreSortedPerSequence) {
+  auto pos = index_.Positions(0, A_);
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], 0u);
+  EXPECT_EQ(pos[1], 3u);
+  auto pos2 = index_.Positions(1, A_);
+  ASSERT_EQ(pos2.size(), 3u);
+  EXPECT_EQ(pos2[0], 0u);
+  EXPECT_EQ(pos2[1], 4u);
+  EXPECT_EQ(pos2[2], 6u);
+}
+
+TEST_F(InvertedIndexTest, PositionsOfAbsentEventEmpty) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "CD"});
+  InvertedIndex idx(db);
+  EventId c = db.dictionary().Lookup("C");
+  EXPECT_TRUE(idx.Positions(0, c).empty());
+}
+
+TEST_F(InvertedIndexTest, NextAtOrAfterFindsFirst) {
+  EXPECT_EQ(index_.NextAtOrAfter(0, A_, 0), 0u);
+  EXPECT_EQ(index_.NextAtOrAfter(0, A_, 1), 3u);
+  EXPECT_EQ(index_.NextAtOrAfter(0, A_, 3), 3u);
+  EXPECT_EQ(index_.NextAtOrAfter(0, A_, 4), kNoPosition);
+}
+
+TEST_F(InvertedIndexTest, NextAtOrAfterMatchesPaperNextSemantics) {
+  // Paper Example 3.3: next(S1, B, max{6,5}) = 9 in 1-based positions.
+  // 0-based: next position of B at or after 6 is 8.
+  EXPECT_EQ(index_.NextAtOrAfter(0, B_, 6), 8u);
+}
+
+TEST_F(InvertedIndexTest, CountPerSequence) {
+  EXPECT_EQ(index_.Count(0, B_), 3u);
+  EXPECT_EQ(index_.Count(1, B_), 1u);
+  EXPECT_EQ(index_.Count(0, D_), 2u);
+  EXPECT_EQ(index_.Count(1, D_), 3u);
+}
+
+TEST_F(InvertedIndexTest, TotalCount) {
+  EXPECT_EQ(index_.TotalCount(A_), 5u);
+  EXPECT_EQ(index_.TotalCount(B_), 4u);
+  EXPECT_EQ(index_.TotalCount(C_), 4u);
+  EXPECT_EQ(index_.TotalCount(D_), 5u);
+  EXPECT_EQ(index_.TotalCount(999), 0u);
+}
+
+TEST_F(InvertedIndexTest, PostingsAscendingBySequence) {
+  auto postings = index_.Postings(A_);
+  ASSERT_EQ(postings.size(), 2u);
+  EXPECT_EQ(postings[0].seq, 0u);
+  EXPECT_EQ(postings[0].count, 2u);
+  EXPECT_EQ(postings[1].seq, 1u);
+  EXPECT_EQ(postings[1].count, 3u);
+}
+
+TEST_F(InvertedIndexTest, PostingsOfUnknownEventEmpty) {
+  EXPECT_TRUE(index_.Postings(1234).empty());
+}
+
+TEST_F(InvertedIndexTest, EventsInSequenceSorted) {
+  auto events = index_.EventsInSequence(0);
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1], events[i]);
+  }
+}
+
+TEST_F(InvertedIndexTest, PresentEventsCoversAlphabet) {
+  EXPECT_EQ(index_.present_events().size(), 4u);
+  EXPECT_EQ(index_.alphabet_size(), 4u);
+  EXPECT_EQ(index_.num_sequences(), 2u);
+}
+
+TEST(InvertedIndexEdge, EmptyDatabase) {
+  SequenceDatabase db;
+  InvertedIndex idx(db);
+  EXPECT_EQ(idx.alphabet_size(), 0u);
+  EXPECT_EQ(idx.num_sequences(), 0u);
+  EXPECT_TRUE(idx.present_events().empty());
+}
+
+TEST(InvertedIndexEdge, SequenceWithOneEvent) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAAA"});
+  InvertedIndex idx(db);
+  EXPECT_EQ(idx.TotalCount(0), 4u);
+  EXPECT_EQ(idx.NextAtOrAfter(0, 0, 2), 2u);
+  EXPECT_EQ(idx.NextAtOrAfter(0, 0, 4), kNoPosition);
+}
+
+TEST(InvertedIndexEdge, SparseAlphabetIds) {
+  SequenceDatabaseBuilder b;
+  b.AddSequenceIds({0, 100, 0});
+  SequenceDatabase db = b.Build();
+  InvertedIndex idx(db);
+  EXPECT_EQ(idx.alphabet_size(), 101u);
+  EXPECT_EQ(idx.TotalCount(100), 1u);
+  EXPECT_EQ(idx.TotalCount(50), 0u);
+  EXPECT_EQ(idx.present_events().size(), 2u);
+}
+
+// Differential check of NextAtOrAfter against a linear scan on random data.
+TEST(InvertedIndexProperty, NextMatchesLinearScan) {
+  Rng rng(101);
+  for (int round = 0; round < 30; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 3, 1, 20, 4);
+    InvertedIndex idx(db);
+    for (SeqId i = 0; i < db.size(); ++i) {
+      const Sequence& s = db[i];
+      for (EventId e = 0; e < db.AlphabetSize(); ++e) {
+        for (Position from = 0; from <= s.length(); ++from) {
+          Position expected = kNoPosition;
+          for (Position p = from; p < s.length(); ++p) {
+            if (s[p] == e) {
+              expected = p;
+              break;
+            }
+          }
+          EXPECT_EQ(idx.NextAtOrAfter(i, e, from), expected);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsgrow

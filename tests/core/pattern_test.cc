@@ -1,0 +1,72 @@
+#include "core/pattern.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(Pattern, GrowAppends) {
+  Pattern p({1, 2});
+  Pattern q = p.Grow(3);
+  EXPECT_EQ(q, Pattern({1, 2, 3}));
+  EXPECT_EQ(p, Pattern({1, 2}));  // original untouched
+}
+
+TEST(Pattern, InsertAtAllGaps) {
+  Pattern p({1, 2});
+  EXPECT_EQ(p.InsertAt(0, 9), Pattern({9, 1, 2}));  // prepend
+  EXPECT_EQ(p.InsertAt(1, 9), Pattern({1, 9, 2}));  // middle
+  EXPECT_EQ(p.InsertAt(2, 9), Pattern({1, 2, 9}));  // append
+}
+
+TEST(Pattern, SubsequenceBasic) {
+  Pattern ab({0, 1});
+  Pattern acb({0, 2, 1});
+  EXPECT_TRUE(ab.IsSubsequenceOf(acb));
+  EXPECT_FALSE(acb.IsSubsequenceOf(ab));
+}
+
+TEST(Pattern, SubsequenceSelfAndEmpty) {
+  Pattern p({3, 4, 5});
+  EXPECT_TRUE(p.IsSubsequenceOf(p));
+  EXPECT_TRUE(Pattern().IsSubsequenceOf(p));
+  EXPECT_FALSE(p.IsSubsequenceOf(Pattern()));
+}
+
+TEST(Pattern, SubsequenceWithRepeats) {
+  Pattern aa({0, 0});
+  Pattern aba({0, 1, 0});
+  EXPECT_TRUE(aa.IsSubsequenceOf(aba));
+  EXPECT_FALSE(Pattern({0, 0, 0}).IsSubsequenceOf(aba));
+}
+
+TEST(Pattern, OrderingIsLexicographic) {
+  EXPECT_LT(Pattern({0, 1}), Pattern({0, 2}));
+  EXPECT_LT(Pattern({0}), Pattern({0, 0}));
+}
+
+TEST(Pattern, ToStringUsesDictionary) {
+  EventDictionary d;
+  d.Intern("open");
+  d.Intern("close");
+  Pattern p({0, 1, 0});
+  EXPECT_EQ(p.ToString(d), "open close open");
+  EXPECT_EQ(p.ToCompactString(d), "opencloseopen");
+}
+
+TEST(Pattern, ToStringSynthesizesUnknownNames) {
+  EventDictionary d;
+  Pattern p({42});
+  EXPECT_EQ(p.ToString(d), "e42");
+}
+
+TEST(Pattern, EmptyPattern) {
+  Pattern p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  EventDictionary d;
+  EXPECT_EQ(p.ToString(d), "");
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,91 @@
+#include "core/sequence_database.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(Sequence, IndexingAndLength) {
+  Sequence s({3, 1, 4, 1, 5});
+  EXPECT_EQ(s.length(), 5u);
+  EXPECT_EQ(s[0], 3u);
+  EXPECT_EQ(s[4], 5u);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(Sequence, EmptySequence) {
+  Sequence s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.length(), 0u);
+}
+
+TEST(Sequence, RangeIteration) {
+  Sequence s({1, 2, 3});
+  size_t sum = 0;
+  for (EventId e : s) sum += e;
+  EXPECT_EQ(sum, 6u);
+}
+
+TEST(Builder, InternsNamesAcrossSequences) {
+  SequenceDatabaseBuilder b;
+  b.AddSequence({"a", "b"});
+  b.AddSequence({"b", "c"});
+  SequenceDatabase db = b.Build();
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0][1], db[1][0]);  // same "b"
+  EXPECT_EQ(db.dictionary().size(), 3u);
+}
+
+TEST(Builder, AddSequenceIdsBypassesDictionary) {
+  SequenceDatabaseBuilder b;
+  b.AddSequenceIds({5, 6});
+  SequenceDatabase db = b.Build();
+  EXPECT_EQ(db[0][0], 5u);
+  EXPECT_EQ(db.AlphabetSize(), 7u);
+}
+
+TEST(Builder, BuildResetsBuilder) {
+  SequenceDatabaseBuilder b;
+  b.AddSequence({"a"});
+  (void)b.Build();
+  EXPECT_EQ(b.size(), 0u);
+  b.AddSequence({"x", "y"});
+  SequenceDatabase db2 = b.Build();
+  EXPECT_EQ(db2.size(), 1u);
+  EXPECT_EQ(db2.dictionary().Lookup("x"), 0u);
+}
+
+TEST(SequenceDatabase, AlphabetSizeEmptyDb) {
+  SequenceDatabase db;
+  EXPECT_EQ(db.AlphabetSize(), 0u);
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(SequenceDatabase, Stats) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABB", "AB", "ABCABC"});
+  DatabaseStats st = db.Stats();
+  EXPECT_EQ(st.num_sequences, 3u);
+  EXPECT_EQ(st.num_distinct_events, 3u);
+  EXPECT_EQ(st.total_length, 12u);
+  EXPECT_EQ(st.max_length, 6u);
+  EXPECT_EQ(st.min_length, 2u);
+  EXPECT_DOUBLE_EQ(st.avg_length, 4.0);
+}
+
+TEST(MakeDatabaseFromStrings, FirstSeenOrderIds) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"BAC"});
+  EXPECT_EQ(db.dictionary().Lookup("B"), 0u);
+  EXPECT_EQ(db.dictionary().Lookup("A"), 1u);
+  EXPECT_EQ(db.dictionary().Lookup("C"), 2u);
+}
+
+TEST(MakeDatabaseFromStrings, PaperExampleShape) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABCDABB", "ABCD"});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].length(), 8u);
+  EXPECT_EQ(db[1].length(), 4u);
+  EXPECT_EQ(db.dictionary().size(), 4u);
+}
+
+}  // namespace
+}  // namespace gsgrow

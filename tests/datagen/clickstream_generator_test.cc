@@ -1,0 +1,60 @@
+#include "datagen/clickstream_generator.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+ClickstreamParams SmallParams() {
+  ClickstreamParams p;
+  p.num_sessions = 3000;
+  p.num_pages = 300;
+  p.max_session_length = 200;
+  p.seed = 3;
+  return p;
+}
+
+TEST(ClickstreamGenerator, Deterministic) {
+  SequenceDatabase a = GenerateClickstream(SmallParams());
+  SequenceDatabase b = GenerateClickstream(SmallParams());
+  ASSERT_EQ(a.size(), b.size());
+  for (SeqId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ClickstreamGenerator, GazelleLikeShape) {
+  // Full-size corpus: the published Gazelle stats are 29369 sequences,
+  // 1423 events, avg length 3, max 651.
+  ClickstreamParams p;  // defaults
+  SequenceDatabase db = GenerateClickstream(p);
+  DatabaseStats st = db.Stats();
+  EXPECT_EQ(st.num_sequences, 29369u);
+  EXPECT_LE(st.num_distinct_events, 1423u);
+  EXPECT_GT(st.num_distinct_events, 1000u);
+  EXPECT_NEAR(st.avg_length, 3.0, 1.0);
+  EXPECT_LE(st.max_length, 651u);
+  // Heavy tail: some session far longer than the average.
+  EXPECT_GT(st.max_length, 60u);
+}
+
+TEST(ClickstreamGenerator, LengthsWithinBounds) {
+  SequenceDatabase db = GenerateClickstream(SmallParams());
+  for (const Sequence& s : db.sequences()) {
+    EXPECT_GE(s.length(), 1u);
+    EXPECT_LE(s.length(), 200u);
+  }
+}
+
+TEST(ClickstreamGenerator, LongSessionsRevisitPages) {
+  SequenceDatabase db = GenerateClickstream(SmallParams());
+  // Find a long session and check it has repeated pages (loops).
+  for (const Sequence& s : db.sequences()) {
+    if (s.length() < 50) continue;
+    std::set<EventId> unique(s.begin(), s.end());
+    EXPECT_LT(unique.size(), s.length());
+    return;
+  }
+  GTEST_SKIP() << "no long session in the small corpus";
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,169 @@
+#include "datagen/trace_generator.h"
+
+#include "gtest/gtest.h"
+
+#include "core/clogsgrow.h"
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "datagen/models.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(TraceModel, EventLeafEmitsOneEvent) {
+  TraceModel m;
+  m.SetRoot(m.Event("x"));
+  TraceGenParams p;
+  p.num_traces = 3;
+  SequenceDatabase db = GenerateTraces(m, p);
+  for (const Sequence& s : db.sequences()) {
+    ASSERT_EQ(s.length(), 1u);
+    EXPECT_EQ(db.dictionary().Name(s[0]), "x");
+  }
+}
+
+TEST(TraceModel, SequenceEmitsInOrder) {
+  TraceModel m;
+  m.SetRoot(m.Seq({m.Event("a"), m.Event("b"), m.Event("c")}));
+  TraceGenParams p;
+  p.num_traces = 1;
+  SequenceDatabase db = GenerateTraces(m, p);
+  ASSERT_EQ(db[0].length(), 3u);
+  EXPECT_EQ(db.dictionary().Name(db[0][0]), "a");
+  EXPECT_EQ(db.dictionary().Name(db[0][1]), "b");
+  EXPECT_EQ(db.dictionary().Name(db[0][2]), "c");
+}
+
+TEST(TraceModel, ChoicePicksExactlyOneChild) {
+  TraceModel m;
+  m.SetRoot(m.Choice({m.Event("a"), m.Event("b")}, {1.0, 1.0}));
+  TraceGenParams p;
+  p.num_traces = 200;
+  p.seed = 5;
+  SequenceDatabase db = GenerateTraces(m, p);
+  size_t a_count = 0;
+  for (const Sequence& s : db.sequences()) {
+    ASSERT_EQ(s.length(), 1u);
+    a_count += (db.dictionary().Name(s[0]) == "a");
+  }
+  EXPECT_GT(a_count, 50u);
+  EXPECT_LT(a_count, 150u);
+}
+
+TEST(TraceModel, ChoiceRespectsWeights) {
+  TraceModel m;
+  m.SetRoot(m.Choice({m.Event("a"), m.Event("b")}, {9.0, 1.0}));
+  TraceGenParams p;
+  p.num_traces = 500;
+  p.seed = 6;
+  SequenceDatabase db = GenerateTraces(m, p);
+  size_t a_count = 0;
+  for (const Sequence& s : db.sequences()) {
+    a_count += (db.dictionary().Name(s[0]) == "a");
+  }
+  EXPECT_GT(a_count, 400u);
+}
+
+TEST(TraceModel, LoopRunsAtLeastMinIterations) {
+  TraceModel m;
+  m.SetRoot(m.Loop(m.Event("x"), 3, 0.0));
+  TraceGenParams p;
+  p.num_traces = 10;
+  SequenceDatabase db = GenerateTraces(m, p);
+  for (const Sequence& s : db.sequences()) EXPECT_EQ(s.length(), 3u);
+}
+
+TEST(TraceModel, LoopGeometricContinuation) {
+  TraceModel m;
+  m.SetRoot(m.Loop(m.Event("x"), 1, 0.5));
+  TraceGenParams p;
+  p.num_traces = 2000;
+  p.seed = 7;
+  SequenceDatabase db = GenerateTraces(m, p);
+  double total = 0;
+  for (const Sequence& s : db.sequences()) total += s.length();
+  // Mean of 1 + Geometric(0.5) = 2.
+  EXPECT_NEAR(total / 2000.0, 2.0, 0.15);
+}
+
+TEST(TraceModel, OptionalProbability) {
+  TraceModel m;
+  m.SetRoot(m.Seq({m.Event("a"), m.Optional(m.Event("b"), 0.25)}));
+  TraceGenParams p;
+  p.num_traces = 2000;
+  p.seed = 8;
+  SequenceDatabase db = GenerateTraces(m, p);
+  size_t with_b = 0;
+  for (const Sequence& s : db.sequences()) with_b += (s.length() == 2);
+  EXPECT_NEAR(with_b / 2000.0, 0.25, 0.05);
+}
+
+TEST(TraceModel, MaxLengthCapsLoops) {
+  TraceModel m;
+  m.SetRoot(m.Loop(m.Event("x"), 1, 1.0));  // would loop forever
+  TraceGenParams p;
+  p.num_traces = 5;
+  p.max_trace_length = 17;
+  SequenceDatabase db = GenerateTraces(m, p);
+  for (const Sequence& s : db.sequences()) EXPECT_EQ(s.length(), 17u);
+}
+
+TEST(TraceModel, Deterministic) {
+  TraceGenParams p;
+  p.num_traces = 10;
+  p.seed = 42;
+  p.max_trace_length = 125;
+  TraceModel m1 = MakeJBossTransactionModel();
+  TraceModel m2 = MakeJBossTransactionModel();
+  SequenceDatabase a = GenerateTraces(m1, p);
+  SequenceDatabase b = GenerateTraces(m2, p);
+  for (SeqId i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+// --- Concrete models: shape statistics vs the paper's corpora. ---
+
+TEST(JBossModel, CorpusShape) {
+  SequenceDatabase db = GenerateJBossTraces();
+  DatabaseStats st = db.Stats();
+  EXPECT_EQ(st.num_sequences, 28u);  // paper: 28 traces
+  // paper: 64 unique events, avg 91, max 125
+  EXPECT_NEAR(static_cast<double>(st.num_distinct_events), 64.0, 6.0);
+  EXPECT_NEAR(st.avg_length, 91.0, 25.0);
+  EXPECT_LE(st.max_length, 125u);
+}
+
+TEST(JBossModel, LockUnlockIsHighlyRepetitive) {
+  SequenceDatabase db = GenerateJBossTraces();
+  InvertedIndex index(db);
+  EventId lock = db.dictionary().Lookup("TransImpl.lock");
+  EventId unlock = db.dictionary().Lookup("TransImpl.unlock");
+  ASSERT_NE(lock, kNoEvent);
+  ASSERT_NE(unlock, kNoEvent);
+  Pattern lock_unlock({lock, unlock});
+  // The paper's most frequent 2-event behavior: repeats many times per trace.
+  EXPECT_GT(ComputeSupport(index, lock_unlock), 5 * db.size());
+}
+
+TEST(TcasModel, CorpusShape) {
+  SequenceDatabase db = GenerateTcasTraces(1578, 13);
+  DatabaseStats st = db.Stats();
+  EXPECT_EQ(st.num_sequences, 1578u);  // paper: 1578 traces
+  // paper: 75 unique events, avg 36, max 70
+  EXPECT_NEAR(static_cast<double>(st.num_distinct_events), 75.0, 8.0);
+  EXPECT_NEAR(st.avg_length, 36.0, 9.0);
+  EXPECT_LE(st.max_length, 70u);
+}
+
+TEST(TcasModel, LoopsCreateWithinTraceRepetition) {
+  SequenceDatabase db = GenerateTcasTraces(100, 13);
+  InvertedIndex index(db);
+  EventId alt = db.dictionary().Lookup("Sensor.readAltitude");
+  EventId upd = db.dictionary().Lookup("Tracker.update");
+  ASSERT_NE(alt, kNoEvent);
+  ASSERT_NE(upd, kNoEvent);
+  // The sensor loop repeats within traces: support well above trace count.
+  EXPECT_GT(ComputeSupport(index, Pattern({alt, upd})), db.size());
+}
+
+}  // namespace
+}  // namespace gsgrow

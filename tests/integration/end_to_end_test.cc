@@ -1,0 +1,156 @@
+// End-to-end pipelines across modules: generate -> serialize -> parse ->
+// index -> mine -> post-process -> extract features.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+
+#include "core/clogsgrow.h"
+#include "core/feature_extraction.h"
+#include "core/gsgrow.h"
+#include "core/topk.h"
+#include "datagen/models.h"
+#include "datagen/quest_generator.h"
+#include "io/spmf_format.h"
+#include "io/text_format.h"
+#include "postprocess/filters.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::AsSet;
+
+TEST(EndToEnd, GenerateSerializeReloadMine) {
+  QuestParams params;
+  params.num_sequences = 100;
+  params.avg_sequence_length = 15;
+  params.num_events = 40;
+  params.avg_pattern_length = 5;
+  params.num_potential_patterns = 20;
+  params.seed = 1234;
+  SequenceDatabase original = GenerateQuest(params);
+
+  // Round-trip through the text format.
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "gsgrow_e2e_quest.txt")
+                         .string();
+  ASSERT_TRUE(WriteTextDatabaseFile(original, path).ok());
+  Result<SequenceDatabase> reloaded = ReadTextDatabaseFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  // Mining results must be identical on the original and the reloaded
+  // database (event ids may differ; compare by name via AsSet).
+  MinerOptions options;
+  options.min_support = 25;
+  EXPECT_EQ(AsSet(original, MineClosedFrequent(original, options).patterns),
+            AsSet(*reloaded, MineClosedFrequent(*reloaded, options).patterns));
+}
+
+TEST(EndToEnd, SpmfRoundTripPreservesMiningResults) {
+  QuestParams params;
+  params.num_sequences = 60;
+  params.avg_sequence_length = 12;
+  params.num_events = 30;
+  params.avg_pattern_length = 4;
+  params.seed = 77;
+  SequenceDatabase original = GenerateQuest(params);
+  Result<SequenceDatabase> reloaded =
+      ParseSpmfDatabase(WriteSpmfDatabase(original));
+  ASSERT_TRUE(reloaded.ok());
+  MinerOptions options;
+  options.min_support = 15;
+  MiningResult a = MineAllFrequent(original, options);
+  MiningResult b = MineAllFrequent(*reloaded, options);
+  // SPMF keeps raw ids, so pattern sets match exactly by id.
+  ASSERT_EQ(a.patterns.size(), b.patterns.size());
+  for (size_t i = 0; i < a.patterns.size(); ++i) {
+    EXPECT_EQ(a.patterns[i].pattern.events(), b.patterns[i].pattern.events());
+    EXPECT_EQ(a.patterns[i].support, b.patterns[i].support);
+  }
+}
+
+TEST(EndToEnd, TraceMiningPipeline) {
+  SequenceDatabase db = GenerateJBossTraces(16, 5);
+  MinerOptions options;
+  options.min_support = 12;
+  options.max_pattern_length = 6;
+  options.time_budget_seconds = 20.0;
+  MiningResult closed = MineClosedFrequent(db, options);
+  ASSERT_FALSE(closed.patterns.empty());
+
+  std::vector<PatternRecord> report = CaseStudyPipeline(closed.patterns);
+  ASSERT_FALSE(report.empty());
+  // Ranking: lengths non-increasing.
+  for (size_t i = 1; i < report.size(); ++i) {
+    EXPECT_LE(report[i].pattern.size(), report[i - 1].pattern.size());
+  }
+  // Density filter respected.
+  for (const PatternRecord& r : report) {
+    EXPECT_GT(PatternDensity(r.pattern), 0.4);
+  }
+  // Maximality: no report pattern is a sub-pattern of another.
+  for (size_t i = 0; i < report.size(); ++i) {
+    for (size_t j = 0; j < report.size(); ++j) {
+      if (i == j) continue;
+      if (report[i].pattern.size() < report[j].pattern.size()) {
+        EXPECT_FALSE(report[i].pattern.IsSubsequenceOf(report[j].pattern));
+      }
+    }
+  }
+}
+
+TEST(EndToEnd, FeaturePipelineOnMinedPatterns) {
+  SequenceDatabase db = GenerateTcasTraces(60, 3);
+  TopKOptions topk;
+  topk.k = 8;
+  topk.min_length = 2;
+  topk.max_pattern_length = 4;
+  topk.time_budget_seconds = 20.0;
+  std::vector<PatternRecord> top = MineTopKClosed(db, topk);
+  ASSERT_FALSE(top.empty());
+
+  std::vector<Pattern> patterns;
+  for (const PatternRecord& r : top) patterns.push_back(r.pattern);
+  InvertedIndex index(db);
+  FeatureMatrix features = ExtractFeatures(index, patterns);
+  ASSERT_EQ(features.num_sequences(), db.size());
+  // Feature columns sum to the pattern's total repetitive support.
+  for (size_t j = 0; j < patterns.size(); ++j) {
+    uint64_t total = 0;
+    for (size_t i = 0; i < features.num_sequences(); ++i) {
+      total += features.rows[i][j];
+    }
+    EXPECT_EQ(total, top[j].support);
+  }
+}
+
+TEST(EndToEnd, ClosedIsAlwaysSubsetOfAllAcrossGenerators) {
+  std::vector<SequenceDatabase> corpora;
+  corpora.push_back(GenerateJBossTraces(8, 2));
+  corpora.push_back(GenerateTcasTraces(30, 2));
+  {
+    QuestParams params;
+    params.num_sequences = 50;
+    params.avg_sequence_length = 10;
+    params.num_events = 20;
+    params.avg_pattern_length = 4;
+    corpora.push_back(GenerateQuest(params));
+  }
+  for (const SequenceDatabase& db : corpora) {
+    MinerOptions options;
+    options.min_support = std::max<uint64_t>(2, db.size() / 2);
+    options.max_pattern_length = 5;
+    options.time_budget_seconds = 15.0;
+    auto all = AsSet(db, MineAllFrequent(db, options).patterns);
+    auto closed = AsSet(db, MineClosedFrequent(db, options).patterns);
+    for (const auto& p : closed) {
+      EXPECT_TRUE(all.count(p)) << p.first;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,145 @@
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+
+#include "io/dataset_stats.h"
+#include "io/spmf_format.h"
+#include "io/text_format.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(TextFormat, ParseBasic) {
+  Result<SequenceDatabase> db = ParseTextDatabase("a b c\nb a\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ((*db)[0].length(), 3u);
+  EXPECT_EQ((*db)[1].length(), 2u);
+  EXPECT_EQ(db->dictionary().Lookup("a"), 0u);
+}
+
+TEST(TextFormat, SkipsCommentsAndBlankLines) {
+  Result<SequenceDatabase> db =
+      ParseTextDatabase("# header\n\na b\n   \n# trailer\nc\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+}
+
+TEST(TextFormat, HandlesTabsAndRepeatedSpaces) {
+  Result<SequenceDatabase> db = ParseTextDatabase("a\tb   c\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)[0].length(), 3u);
+}
+
+TEST(TextFormat, RoundTrip) {
+  SequenceDatabase original = MakeDatabaseFromStrings({"ABCA", "BAC"});
+  std::string text = WriteTextDatabase(original);
+  Result<SequenceDatabase> restored = ParseTextDatabase(text);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), original.size());
+  for (SeqId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*restored)[i], original[i]);
+  }
+}
+
+TEST(TextFormat, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "gsgrow_io_test.txt")
+          .string();
+  SequenceDatabase original = MakeDatabaseFromStrings({"AB", "BA"});
+  ASSERT_TRUE(WriteTextDatabaseFile(original, path).ok());
+  Result<SequenceDatabase> restored = ReadTextDatabaseFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TextFormat, MissingFileIsIOError) {
+  Result<SequenceDatabase> r =
+      ReadTextDatabaseFile("/nonexistent/gsgrow/db.txt");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(SpmfFormat, ParseBasic) {
+  Result<SequenceDatabase> db =
+      ParseSpmfDatabase("1 -1 2 -1 3 -1 -2\n2 -1 1 -1 -2\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ((*db)[0][0], 1u);
+  EXPECT_EQ((*db)[0][2], 3u);
+}
+
+TEST(SpmfFormat, MissingTerminatorIsCorruption) {
+  Result<SequenceDatabase> db = ParseSpmfDatabase("1 -1 2 -1\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SpmfFormat, NonNumericTokenIsCorruption) {
+  Result<SequenceDatabase> db = ParseSpmfDatabase("1 -1 x -1 -2\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SpmfFormat, MultiItemItemsetRejected) {
+  Result<SequenceDatabase> db = ParseSpmfDatabase("1 2 -1 -2\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SpmfFormat, EmptyItemsetRejected) {
+  Result<SequenceDatabase> db = ParseSpmfDatabase("-1 -2\n");
+  ASSERT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SpmfFormat, EmptySequenceAllowed) {
+  Result<SequenceDatabase> db = ParseSpmfDatabase("-2\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)[0].length(), 0u);
+}
+
+TEST(SpmfFormat, RoundTrip) {
+  SequenceDatabase original = MakeDatabaseFromStrings({"ABCA", "BAC"});
+  std::string spmf = WriteSpmfDatabase(original);
+  Result<SequenceDatabase> restored = ParseSpmfDatabase(spmf);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), original.size());
+  for (SeqId i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*restored)[i], original[i]);
+  }
+}
+
+TEST(SpmfFormat, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "gsgrow_io_test.spmf")
+          .string();
+  SequenceDatabase original = MakeDatabaseFromStrings({"AB"});
+  ASSERT_TRUE(WriteSpmfDatabaseFile(original, path).ok());
+  Result<SequenceDatabase> restored = ReadSpmfDatabaseFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)[0], original[0]);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetStats, LineFormat) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "ABCD"});
+  std::string line = FormatStatsLine(db);
+  EXPECT_NE(line.find("2 sequences"), std::string::npos);
+  EXPECT_NE(line.find("4 events"), std::string::npos);
+  EXPECT_NE(line.find("avg length 3.0"), std::string::npos);
+  EXPECT_NE(line.find("max 4"), std::string::npos);
+}
+
+TEST(DatasetStats, ReportHasHistogram) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"A", "AB", "ABCD"});
+  std::string report = FormatStatsReport("tiny", db);
+  EXPECT_NE(report.find("dataset tiny"), std::string::npos);
+  EXPECT_NE(report.find("[1,2)"), std::string::npos);
+  EXPECT_NE(report.find("[4,8)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsgrow

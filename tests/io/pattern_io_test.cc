@@ -1,0 +1,100 @@
+#include "io/pattern_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+
+#include "core/clogsgrow.h"
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(PatternIo, WriteFormat) {
+  EventDictionary dict;
+  dict.Intern("lock");
+  dict.Intern("unlock");
+  std::vector<PatternRecord> records = {{Pattern({0, 1}), 321}};
+  std::string text = WritePatterns(records, dict);
+  EXPECT_NE(text.find("321\tlock unlock"), std::string::npos);
+}
+
+TEST(PatternIo, RoundTrip) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  MinerOptions options;
+  options.min_support = 3;
+  MiningResult closed = MineClosedFrequent(db, options);
+  std::string text = WritePatterns(closed.patterns, db.dictionary());
+
+  EventDictionary dict;
+  Result<std::vector<PatternRecord>> restored = ParsePatterns(text, &dict);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), closed.patterns.size());
+  for (size_t i = 0; i < restored->size(); ++i) {
+    EXPECT_EQ((*restored)[i].support, closed.patterns[i].support);
+    EXPECT_EQ((*restored)[i].pattern.ToString(dict),
+              closed.patterns[i].pattern.ToString(db.dictionary()));
+  }
+}
+
+TEST(PatternIo, ReloadedPatternsEvaluateOnDatabase) {
+  // Patterns written from one run can be re-evaluated against the database
+  // when parsed with ITS dictionary.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB", "AB"});
+  MinerOptions options;
+  options.min_support = 2;
+  MiningResult closed = MineClosedFrequent(db, options);
+  std::string text = WritePatterns(closed.patterns, db.dictionary());
+  EventDictionary* dict = db.mutable_dictionary();
+  Result<std::vector<PatternRecord>> restored = ParsePatterns(text, dict);
+  ASSERT_TRUE(restored.ok());
+  InvertedIndex index(db);
+  for (const PatternRecord& r : *restored) {
+    EXPECT_EQ(ComputeSupport(index, r.pattern), r.support);
+  }
+}
+
+TEST(PatternIo, SkipsCommentsAndBlankLines) {
+  EventDictionary dict;
+  Result<std::vector<PatternRecord>> r =
+      ParsePatterns("# header\n\n5\ta b\n", &dict);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].support, 5u);
+  EXPECT_EQ((*r)[0].pattern.size(), 2u);
+}
+
+TEST(PatternIo, RejectsMalformedLines) {
+  EventDictionary dict;
+  EXPECT_FALSE(ParsePatterns("justoneword\n", &dict).ok());
+  EXPECT_FALSE(ParsePatterns("notanumber a b\n", &dict).ok());
+  EXPECT_FALSE(ParsePatterns("-3 a\n", &dict).ok());
+}
+
+TEST(PatternIo, FileRoundTrip) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "gsgrow_patterns_test.tsv")
+                         .string();
+  EventDictionary dict;
+  dict.Intern("x");
+  std::vector<PatternRecord> records = {{Pattern({0}), 7}};
+  ASSERT_TRUE(WritePatternsFile(records, dict, path).ok());
+  EventDictionary dict2;
+  Result<std::vector<PatternRecord>> restored =
+      ReadPatternsFile(path, &dict2);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ((*restored)[0].support, 7u);
+  std::remove(path.c_str());
+}
+
+TEST(PatternIo, MissingFile) {
+  EventDictionary dict;
+  EXPECT_EQ(ReadPatternsFile("/nonexistent/p.tsv", &dict).status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gsgrow

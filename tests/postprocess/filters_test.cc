@@ -1,0 +1,103 @@
+#include "postprocess/filters.h"
+
+#include "gtest/gtest.h"
+
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::MakePattern;
+
+TEST(PatternDensity, Values) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  EXPECT_DOUBLE_EQ(PatternDensity(MakePattern(db, "ABCD")), 1.0);
+  EXPECT_DOUBLE_EQ(PatternDensity(MakePattern(db, "AAAA")), 0.25);
+  EXPECT_DOUBLE_EQ(PatternDensity(MakePattern(db, "ABAB")), 0.5);
+  EXPECT_DOUBLE_EQ(PatternDensity(Pattern()), 0.0);
+}
+
+TEST(FilterByDensity, StrictThreshold) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "ABAB"), 5},  // density 0.5
+      {MakePattern(db, "AAAA"), 9},  // density 0.25
+      {MakePattern(db, "ABC"), 3},   // density 1.0
+  };
+  std::vector<PatternRecord> kept = FilterByDensity(records, 0.4);
+  ASSERT_EQ(kept.size(), 2u);
+  // Strict: a pattern at exactly the threshold is dropped.
+  kept = FilterByDensity(records, 0.5);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].pattern, MakePattern(db, "ABC"));
+}
+
+TEST(FilterMaximal, DropsSubPatterns) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AB"), 7},
+      {MakePattern(db, "ABC"), 5},
+      {MakePattern(db, "BD"), 4},
+  };
+  std::vector<PatternRecord> maximal = FilterMaximal(records);
+  auto set = testing::AsSet(db, maximal);
+  EXPECT_FALSE(set.count({"AB", 7}));  // sub-pattern of ABC
+  EXPECT_TRUE(set.count({"ABC", 5}));
+  EXPECT_TRUE(set.count({"BD", 4}));  // not a subsequence of ABC
+}
+
+TEST(FilterMaximal, SupportIgnored) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  // Different supports: maximality in the case study is support-agnostic.
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AB"), 100},
+      {MakePattern(db, "ACB"), 1},
+  };
+  std::vector<PatternRecord> maximal = FilterMaximal(records);
+  EXPECT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].pattern, MakePattern(db, "ACB"));
+}
+
+TEST(FilterMaximal, IdenticalLengthIncomparable) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AB"), 3},
+      {MakePattern(db, "CD"), 3},
+  };
+  EXPECT_EQ(FilterMaximal(records).size(), 2u);
+}
+
+TEST(RankByLength, LongestFirstTiesBySupport) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AB"), 3},
+      {MakePattern(db, "ABCD"), 1},
+      {MakePattern(db, "CD"), 9},
+  };
+  std::vector<PatternRecord> ranked = RankByLength(records);
+  EXPECT_EQ(ranked[0].pattern, MakePattern(db, "ABCD"));
+  EXPECT_EQ(ranked[1].pattern, MakePattern(db, "CD"));  // support 9 > 3
+  EXPECT_EQ(ranked[2].pattern, MakePattern(db, "AB"));
+}
+
+TEST(CaseStudyPipeline, AppliesAllThreeSteps) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AAAA"), 9},   // killed by density
+      {MakePattern(db, "AB"), 7},     // killed by maximality (sub of ABCD)
+      {MakePattern(db, "ABCD"), 2},
+      {MakePattern(db, "BC"), 5},     // sub of ABCD: killed
+      {MakePattern(db, "DA"), 4},     // survives
+  };
+  std::vector<PatternRecord> out = CaseStudyPipeline(records);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].pattern, MakePattern(db, "ABCD"));  // longest first
+  EXPECT_EQ(out[1].pattern, MakePattern(db, "DA"));
+}
+
+TEST(CaseStudyPipeline, EmptyInput) {
+  EXPECT_TRUE(CaseStudyPipeline({}).empty());
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,181 @@
+// Randomized differential tests for the semantics modules against naive
+// enumerations (the DP/scan implementations must agree with brute force).
+
+#include "gtest/gtest.h"
+
+#include "core/reference.h"
+#include "semantics/gap_support.h"
+#include "semantics/interaction_support.h"
+#include "semantics/iterative_support.h"
+#include "semantics/window_support.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::MakePattern;
+
+struct SemanticsParam {
+  uint64_t seed;
+  size_t max_len;
+  size_t alphabet;
+};
+
+class SemanticsProperty : public ::testing::TestWithParam<SemanticsParam> {
+ protected:
+  SequenceDatabase MakeDb() {
+    Rng rng(GetParam().seed);
+    return testing::RandomDatabase(&rng, 3, 1, GetParam().max_len,
+                                   GetParam().alphabet);
+  }
+  std::vector<Pattern> TestPatterns(const SequenceDatabase& db) {
+    std::vector<Pattern> out;
+    for (const char* s : {"A", "AB", "BA", "ABA", "AAB", "ABC"}) {
+      bool valid = true;
+      for (const char* c = s; *c; ++c) {
+        if (static_cast<size_t>(*c - 'A') >= GetParam().alphabet) {
+          valid = false;
+        }
+      }
+      if (valid) out.push_back(MakePattern(db, s));
+    }
+    return out;
+  }
+};
+
+// Gap-requirement DP == filtered exhaustive landmark enumeration.
+TEST_P(SemanticsProperty, GapCountMatchesEnumeration) {
+  SequenceDatabase db = MakeDb();
+  for (const Pattern& p : TestPatterns(db)) {
+    for (uint32_t max_gap : {0u, 1u, 3u, 100u}) {
+      for (uint32_t min_gap : {0u, 1u}) {
+        if (min_gap > max_gap) continue;
+        GapRequirement gap{min_gap, max_gap};
+        for (const Sequence& s : db.sequences()) {
+          uint64_t expected = 0;
+          for (const auto& lm : EnumerateLandmarks(s, p)) {
+            bool ok = true;
+            for (size_t j = 1; j < lm.size(); ++j) {
+              size_t g = lm[j] - lm[j - 1] - 1;
+              if (g < min_gap || g > max_gap) ok = false;
+            }
+            expected += ok;
+          }
+          EXPECT_EQ(GapOccurrenceCount(s, p, gap), expected)
+              << p.ToCompactString(db.dictionary()) << " [" << min_gap << ","
+              << max_gap << "]";
+        }
+      }
+    }
+  }
+}
+
+// N_l (all-match DP) == number of gap-feasible position tuples, verified by
+// counting landmarks of a pattern over a unary alphabet.
+TEST_P(SemanticsProperty, MaxPossibleMatchesUnaryEnumeration) {
+  for (size_t n : {3u, 5u, 8u}) {
+    for (size_t m : {1u, 2u, 3u}) {
+      GapRequirement gap{0, 2};
+      Sequence unary(std::vector<EventId>(n, 0));
+      Pattern p(std::vector<EventId>(m, 0));
+      uint64_t expected = 0;
+      for (const auto& lm : EnumerateLandmarks(unary, p)) {
+        bool ok = true;
+        for (size_t j = 1; j < lm.size(); ++j) {
+          if (lm[j] - lm[j - 1] - 1 > 2) ok = false;
+        }
+        expected += ok;
+      }
+      EXPECT_EQ(MaxPossibleOccurrences(n, m, gap), expected)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+// Fixed windows == direct window-by-window containment scan.
+TEST_P(SemanticsProperty, FixedWindowMatchesDirectScan) {
+  SequenceDatabase db = MakeDb();
+  for (const Pattern& p : TestPatterns(db)) {
+    for (size_t w : {1u, 2u, 4u, 7u}) {
+      for (const Sequence& s : db.sequences()) {
+        uint64_t expected = 0;
+        if (s.length() >= w) {
+          for (size_t start = 0; start + w <= s.length(); ++start) {
+            size_t j = 0;
+            for (size_t q = start; q < start + w && j < p.size(); ++q) {
+              if (s[static_cast<Position>(q)] == p[j]) ++j;
+            }
+            expected += (j == p.size());
+          }
+        }
+        EXPECT_EQ(FixedWindowCount(s, p, w), expected);
+      }
+    }
+  }
+}
+
+// Minimal windows: every reported window contains the pattern while both
+// one-step shrinkings do not; count matches the quadratic definition.
+TEST_P(SemanticsProperty, MinimalWindowMatchesDefinition) {
+  SequenceDatabase db = MakeDb();
+  auto contains = [](const Sequence& s, const Pattern& p, size_t lo,
+                     size_t hi) {
+    size_t j = 0;
+    for (size_t q = lo; q < hi && j < p.size(); ++q) {
+      if (s[static_cast<Position>(q)] == p[j]) ++j;
+    }
+    return j == p.size();
+  };
+  for (const Pattern& p : TestPatterns(db)) {
+    if (p.empty()) continue;
+    for (const Sequence& s : db.sequences()) {
+      uint64_t expected = 0;
+      for (size_t lo = 0; lo < s.length(); ++lo) {
+        for (size_t hi = lo + 1; hi <= s.length(); ++hi) {
+          if (!contains(s, p, lo, hi)) continue;
+          if (contains(s, p, lo + 1, hi)) continue;
+          if (contains(s, p, lo, hi - 1)) continue;
+          ++expected;
+        }
+      }
+      EXPECT_EQ(MinimalWindowCount(s, p), expected)
+          << p.ToCompactString(db.dictionary());
+    }
+  }
+}
+
+// Interaction support == quadratic endpoint enumeration (independent code
+// path from the implementation's starts/ends precollection).
+TEST_P(SemanticsProperty, InteractionMatchesQuadraticScan) {
+  SequenceDatabase db = MakeDb();
+  for (const Pattern& p : TestPatterns(db)) {
+    if (p.size() < 2) continue;
+    for (const Sequence& s : db.sequences()) {
+      uint64_t expected = 0;
+      for (size_t a = 0; a < s.length(); ++a) {
+        for (size_t b = a + 1; b < s.length(); ++b) {
+          if (s[static_cast<Position>(a)] != p[0]) continue;
+          if (s[static_cast<Position>(b)] != p[p.size() - 1]) continue;
+          size_t j = 0;
+          for (size_t q = a; q <= b && j < p.size(); ++q) {
+            if (s[static_cast<Position>(q)] == p[j]) ++j;
+          }
+          expected += (j == p.size());
+        }
+      }
+      EXPECT_EQ(InteractionOccurrenceCount(s, p), expected);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SemanticsProperty,
+    ::testing::Values(SemanticsParam{101, 8, 2}, SemanticsParam{102, 10, 3},
+                      SemanticsParam{103, 12, 2}, SemanticsParam{104, 7, 4},
+                      SemanticsParam{105, 14, 3}, SemanticsParam{106, 9, 2}),
+    [](const ::testing::TestParamInfo<SemanticsParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace gsgrow

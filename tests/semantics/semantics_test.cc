@@ -1,0 +1,220 @@
+// The related-work support definitions of Table I, pinned to the exact
+// values the paper derives for Example 1.1 (S1 = AABCDABB, S2 = ABCD).
+
+#include "gtest/gtest.h"
+
+#include "core/instance_growth.h"
+#include "core/inverted_index.h"
+#include "semantics/gap_support.h"
+#include "semantics/interaction_support.h"
+#include "semantics/iterative_support.h"
+#include "semantics/sequence_count_support.h"
+#include "semantics/window_support.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::MakePattern;
+
+class Example11Semantics : public ::testing::Test {
+ protected:
+  SequenceDatabase db_ = MakeDatabaseFromStrings({"AABCDABB", "ABCD"});
+  Pattern ab_ = MakePattern(db_, "AB");
+  Pattern cd_ = MakePattern(db_, "CD");
+};
+
+// Agrawal & Srikant: both AB and CD have support 2 (can't differentiate).
+TEST_F(Example11Semantics, SequenceCountSupport) {
+  EXPECT_EQ(SequenceCount(db_, ab_), 2u);
+  EXPECT_EQ(SequenceCount(db_, cd_), 2u);
+}
+
+// Mannila et al. definition (i): with w = 4, serial episode AB has support 4
+// in S1 (windows [1,4], [2,5], [4,7], [5,8]).
+TEST_F(Example11Semantics, FixedWindowSupportW4) {
+  EXPECT_EQ(FixedWindowCount(db_[0], ab_, 4), 4u);
+}
+
+// Mannila et al. definition (ii): 2 minimal windows of AB in S1.
+TEST_F(Example11Semantics, MinimalWindowSupport) {
+  EXPECT_EQ(MinimalWindowCount(db_[0], ab_), 2u);
+  EXPECT_EQ(MinimalWindowCount(db_[1], ab_), 1u);
+}
+
+// Zhang et al.: with gap >= 0 and <= 3, AB has support 4 in S1 and support
+// ratio 4/22.
+TEST_F(Example11Semantics, GapRequirementSupport) {
+  GapRequirement gap{0, 3};
+  EXPECT_EQ(GapOccurrenceCount(db_[0], ab_, gap), 4u);
+  EXPECT_EQ(MaxPossibleOccurrences(db_[0].length(), ab_.size(), gap), 22u);
+  EXPECT_DOUBLE_EQ(GapSupportRatio(db_[0], ab_, gap), 4.0 / 22.0);
+}
+
+// El-Ramly et al.: AB has support 9 (8 substrings in S1 plus 1 in S2).
+TEST_F(Example11Semantics, InteractionSupport) {
+  EXPECT_EQ(InteractionOccurrenceCount(db_[0], ab_), 8u);
+  EXPECT_EQ(InteractionOccurrenceCount(db_[1], ab_), 1u);
+  EXPECT_EQ(InteractionSupport(db_, ab_), 9u);
+}
+
+// Lo et al.: AB has support 3 (2 occurrences in S1, 1 in S2).
+TEST_F(Example11Semantics, IterativeSupport) {
+  EXPECT_EQ(IterativeOccurrenceCount(db_[0], ab_), 2u);
+  EXPECT_EQ(IterativeOccurrenceCount(db_[1], ab_), 1u);
+  EXPECT_EQ(IterativeSupport(db_, ab_), 3u);
+}
+
+// This paper: sup(AB) = 4, sup(CD) = 2.
+TEST_F(Example11Semantics, RepetitiveSupport) {
+  InvertedIndex index(db_);
+  EXPECT_EQ(ComputeSupport(index, ab_), 4u);
+  EXPECT_EQ(ComputeSupport(index, cd_), 2u);
+}
+
+// ---- Unit coverage beyond the paper's example ----
+
+TEST(FixedWindow, WindowWiderThanSequence) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  EXPECT_EQ(FixedWindowCount(db[0], MakePattern(db, "AB"), 5), 0u);
+}
+
+TEST(FixedWindow, WindowEqualsSequence) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  EXPECT_EQ(FixedWindowCount(db[0], MakePattern(db, "AB"), 2), 1u);
+}
+
+TEST(FixedWindow, SingleEventPattern) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  // Windows of width 2: AB, BA, AB; all contain A.
+  EXPECT_EQ(FixedWindowCount(db[0], MakePattern(db, "A"), 2), 3u);
+}
+
+TEST(FixedWindow, DatabaseTotal) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB", "AB"});
+  EXPECT_EQ(FixedWindowSupport(db, MakePattern(db, "AB"), 2), 3u);
+}
+
+TEST(MinimalWindow, AdjacentOccurrenceIsMinimal) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
+  EXPECT_EQ(MinimalWindowCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(MinimalWindow, GappedMinimalWindow) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ACB"});
+  EXPECT_EQ(MinimalWindowCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(MinimalWindow, NoOccurrence) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"BBB", "A"});
+  EXPECT_EQ(MinimalWindowCount(db[0], MakePattern(db, "AB")), 0u);
+  EXPECT_EQ(MinimalWindowSupport(db, MakePattern(db, "AB")), 0u);
+}
+
+TEST(MinimalWindow, OverlappingMinimalWindows) {
+  // ABA: minimal windows of AB = [0,1]; of BA = [1,2]; they overlap.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABA"});
+  EXPECT_EQ(MinimalWindowCount(db[0], MakePattern(db, "AB")), 1u);
+  EXPECT_EQ(MinimalWindowCount(db[0], MakePattern(db, "BA")), 1u);
+}
+
+TEST(GapSupport, UnboundedGapCountsAllLandmarks) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABB"});
+  GapRequirement unbounded;
+  EXPECT_EQ(GapOccurrenceCount(db[0], MakePattern(db, "AB"), unbounded), 4u);
+}
+
+TEST(GapSupport, ZeroGapMeansAdjacent) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  GapRequirement adjacent{0, 0};
+  EXPECT_EQ(GapOccurrenceCount(db[0], MakePattern(db, "AB"), adjacent), 2u);
+  EXPECT_EQ(GapOccurrenceCount(db[0], MakePattern(db, "AA"), adjacent), 0u);
+}
+
+TEST(GapSupport, MinGapExcludesAdjacent) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  GapRequirement gap{1, 10};
+  // A0-B3 (gap 2) and A2-?: no B at distance >= 2 after position 2.
+  EXPECT_EQ(GapOccurrenceCount(db[0], MakePattern(db, "AB"), gap), 1u);
+}
+
+TEST(GapSupport, DatabaseTotalSums) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "AB"});
+  GapRequirement gap{0, 0};
+  EXPECT_EQ(GapSupport(db, MakePattern(db, "AB"), gap), 2u);
+}
+
+TEST(GapSupport, MaxPossibleSmallCases) {
+  GapRequirement unbounded;
+  // n=3, m=2: C(3,2) = 3 tuples.
+  EXPECT_EQ(MaxPossibleOccurrences(3, 2, unbounded), 3u);
+  // m > n: impossible.
+  EXPECT_EQ(MaxPossibleOccurrences(2, 3, unbounded), 0u);
+  // m = 0 or n = 0: zero by convention.
+  EXPECT_EQ(MaxPossibleOccurrences(0, 1, unbounded), 0u);
+  EXPECT_EQ(MaxPossibleOccurrences(5, 0, unbounded), 0u);
+}
+
+TEST(GapSupport, RatioZeroWhenImpossible) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"A"});
+  GapRequirement gap{0, 0};
+  EXPECT_DOUBLE_EQ(GapSupportRatio(db[0], MakePattern(db, "AA"), gap), 0.0);
+}
+
+TEST(Interaction, SingleEventPatternCountsOccurrences) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  EXPECT_EQ(InteractionOccurrenceCount(db[0], MakePattern(db, "A")), 2u);
+}
+
+TEST(Interaction, EndpointsMustMatch) {
+  // For pattern AB in "BAB": only substring (1,2) qualifies; the B at 0
+  // cannot start an interaction occurrence.
+  SequenceDatabase db = MakeDatabaseFromStrings({"BAB"});
+  EXPECT_EQ(InteractionOccurrenceCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(Interaction, MiddleEventsRequired) {
+  // ACB contains one (s,e) pair for pattern ACB; for "AB" with middle C it
+  // is irrelevant. For pattern ACB in "AB" there is no occurrence.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ACB", "AB"});
+  EXPECT_EQ(InteractionOccurrenceCount(db[0], MakePattern(db, "ACB")), 1u);
+  EXPECT_EQ(InteractionOccurrenceCount(db[1], MakePattern(db, "ACB")), 0u);
+}
+
+TEST(Iterative, NoPatternEventAllowedBetween) {
+  // For AB in "AAB": the first A is aborted by the second A.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAB"});
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(Iterative, NonPatternEventsAreSkipped) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AXXXB"});
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(Iterative, SingleEventPattern) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AXA"});
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "A")), 2u);
+}
+
+TEST(Iterative, RepeatedEventPattern) {
+  // ABA in "ABA": start 0 -> expects B (got B), then A (got A): 1 occurrence.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABA"});
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "ABA")), 1u);
+  // Start at position 2 can't complete.
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "AB")), 1u);
+}
+
+TEST(Iterative, JBossStyleLockUnlock) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"LULULU"});
+  EXPECT_EQ(IterativeOccurrenceCount(db[0], MakePattern(db, "LU")), 3u);
+}
+
+TEST(SequenceCountSupportModule, ContainsPattern) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"AXBXC"});
+  EXPECT_TRUE(ContainsPattern(db[0], MakePattern(db, "ABC")));
+  EXPECT_FALSE(ContainsPattern(db[0], MakePattern(db, "CB")));
+}
+
+}  // namespace
+}  // namespace gsgrow

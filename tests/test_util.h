@@ -1,0 +1,87 @@
+// Shared helpers for the gsgrow test suite.
+
+#ifndef GSGROW_TESTS_TEST_UTIL_H_
+#define GSGROW_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/instance_growth.h"
+#include "core/mining_result.h"
+#include "core/pattern.h"
+#include "core/sequence_database.h"
+#include "util/rng.h"
+
+namespace gsgrow::testing {
+
+/// Pattern from a compact single-character string, resolved against the
+/// database dictionary ("ACB" -> ids of "A","C","B").
+inline Pattern MakePattern(const SequenceDatabase& db, const std::string& s) {
+  std::vector<EventId> ids;
+  for (char c : s) {
+    EventId id = db.dictionary().Lookup(std::string(1, c));
+    if (id == kNoEvent) {
+      ADD_FAILURE() << "event '" << c << "' not in dictionary";
+      return Pattern();
+    }
+    ids.push_back(id);
+  }
+  return Pattern(std::move(ids));
+}
+
+/// Full instance from paper-style 1-based (seq, landmark) notation.
+inline FullInstance PaperInstance(SeqId seq_1based,
+                                  std::vector<Position> landmark_1based) {
+  FullInstance inst;
+  inst.seq = seq_1based - 1;
+  for (Position p : landmark_1based) inst.landmark.push_back(p - 1);
+  return inst;
+}
+
+/// Compressed instance from paper-style 1-based (seq, first, last).
+inline Instance PaperTriple(SeqId seq_1based, Position first_1based,
+                            Position last_1based) {
+  return Instance{seq_1based - 1, first_1based - 1, last_1based - 1};
+}
+
+/// Mining result as a canonical set of (compact pattern string, support).
+inline std::set<std::pair<std::string, uint64_t>> AsSet(
+    const SequenceDatabase& db, const std::vector<PatternRecord>& records) {
+  std::set<std::pair<std::string, uint64_t>> out;
+  for (const PatternRecord& r : records) {
+    out.emplace(r.pattern.ToCompactString(db.dictionary()), r.support);
+  }
+  return out;
+}
+
+/// Random database for property tests: `num_seqs` sequences of length in
+/// [min_len, max_len] over an alphabet of `alphabet` single-letter events.
+inline SequenceDatabase RandomDatabase(Rng* rng, size_t num_seqs,
+                                       size_t min_len, size_t max_len,
+                                       size_t alphabet) {
+  std::vector<std::string> rows;
+  for (size_t i = 0; i < num_seqs; ++i) {
+    size_t len = static_cast<size_t>(
+        rng->UniformRange(static_cast<int64_t>(min_len),
+                          static_cast<int64_t>(max_len)));
+    std::string row;
+    for (size_t j = 0; j < len; ++j) {
+      row.push_back(static_cast<char>('A' + rng->UniformInt(alphabet)));
+    }
+    rows.push_back(std::move(row));
+  }
+  // Ensure the full alphabet is interned so MakePattern lookups never fail.
+  std::string all;
+  for (size_t a = 0; a < alphabet; ++a) all.push_back(static_cast<char>('A' + a));
+  rows.push_back(all);
+  return MakeDatabaseFromStrings(rows);
+}
+
+}  // namespace gsgrow::testing
+
+#endif  // GSGROW_TESTS_TEST_UTIL_H_

@@ -1,0 +1,69 @@
+#include "util/status.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  Status st = Status::IOError("disk on fire");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.message(), "disk on fire");
+  EXPECT_EQ(st.ToString(), "IOError: disk on fire");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailingOp() { return Status::Corruption("bad block"); }
+
+Status Chained() {
+  GSGROW_RETURN_NOT_OK(FailingOp());
+  return Status::OK();
+}
+
+TEST(Status, ReturnNotOkMacroPropagates) {
+  Status st = Chained();
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace gsgrow

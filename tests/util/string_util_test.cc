@@ -1,0 +1,88 @@
+#include "util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(Split, BasicWhitespace) {
+  EXPECT_EQ(Split("a b c", " "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, RunsOfDelimitersCollapse) {
+  EXPECT_EQ(Split("a   b", " "), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Split, MultipleDelimiters) {
+  EXPECT_EQ(Split("a,b c", ", "), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, EmptyInput) { EXPECT_TRUE(Split("", " ").empty()); }
+
+TEST(Split, OnlyDelimiters) { EXPECT_TRUE(Split("   ", " ").empty()); }
+
+TEST(Trim, RemovesBothEnds) { EXPECT_EQ(Trim("  abc\t\n"), "abc"); }
+
+TEST(Trim, AllWhitespaceYieldsEmpty) { EXPECT_EQ(Trim(" \t "), ""); }
+
+TEST(Trim, NoWhitespaceUnchanged) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+}
+
+TEST(Join, SingleAndEmpty) {
+  EXPECT_EQ(Join({"x"}, ","), "x");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("", "a"));
+}
+
+TEST(ParseInt64, Valid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("  13 ", &v));
+  EXPECT_EQ(v, 13);
+}
+
+TEST(ParseInt64, Invalid) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(ParseDouble, Valid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+}
+
+TEST(ParseDouble, Invalid) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("pi", &v));
+  EXPECT_FALSE(ParseDouble("1.5extra", &v));
+}
+
+TEST(WithThousandsSeparators, Formats) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(1000000000ULL), "1,000,000,000");
+}
+
+}  // namespace
+}  // namespace gsgrow

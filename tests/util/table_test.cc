@@ -1,0 +1,47 @@
+#include "util/table.h"
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "count"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header and separator and two rows -> 4 lines.
+  int newlines = 0;
+  for (char c : s) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TextTable, ShortRowsPad) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find('x'), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableStillRendersHeader) {
+  TextTable t({"col"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("col"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatSeconds, PicksUnit) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+  EXPECT_EQ(FormatSeconds(0.0451), "45.1 ms");
+  EXPECT_EQ(FormatSeconds(0.0000321), "32.1 us");
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,57 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace gsgrow {
+namespace {
+
+TEST(WallTimer, ElapsedIncreasesMonotonically) {
+  WallTimer timer;
+  double a = timer.ElapsedSeconds();
+  double b = timer.ElapsedSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, MeasuresSleep) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimeBudget, DefaultNeverExpires) {
+  TimeBudget budget;
+  EXPECT_TRUE(budget.IsUnlimited());
+  EXPECT_FALSE(budget.Expired());
+}
+
+TEST(TimeBudget, ZeroExpiresImmediately) {
+  TimeBudget budget(0.0);
+  EXPECT_FALSE(budget.IsUnlimited());
+  EXPECT_TRUE(budget.Expired());
+}
+
+TEST(TimeBudget, ShortBudgetExpiresAfterSleep) {
+  TimeBudget budget(0.01);
+  EXPECT_FALSE(budget.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(budget.Expired());
+}
+
+TEST(TimeBudget, ReportsLimit) {
+  TimeBudget budget(2.5);
+  EXPECT_DOUBLE_EQ(budget.LimitSeconds(), 2.5);
+  EXPECT_GE(budget.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace gsgrow
