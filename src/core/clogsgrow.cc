@@ -1,271 +1,19 @@
 #include "core/clogsgrow.h"
 
-#include <algorithm>
-#include <utility>
-#include <vector>
-
-#include "core/instance_growth.h"
+#include "core/growth_engine.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace gsgrow {
-
-namespace {
-
-/// One closed-pattern mining run.
-class CloGSgrowRun {
- public:
-  CloGSgrowRun(const InvertedIndex& index, const MinerOptions& options)
-      : index_(index),
-        options_(options),
-        budget_(options.time_budget_seconds) {}
-
-  MiningResult Run() {
-    WallTimer timer;
-    std::vector<EventId> roots;
-    for (EventId e : index_.present_events()) {
-      if (index_.TotalCount(e) >= options_.min_support) roots.push_back(e);
-    }
-    for (EventId e : roots) {
-      if (stopped_) break;
-      SupportSet set = RootInstances(index_, e);
-      pattern_.push_back(e);
-      prefix_sets_.push_back(std::move(set));
-      Dfs(roots);
-      prefix_sets_.pop_back();
-      pattern_.pop_back();
-    }
-    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return std::move(result_);
-  }
-
- private:
-  // Pre: prefix_sets_.back() is the leftmost support set of pattern_ and has
-  // size >= min_support.
-  void Dfs(const std::vector<EventId>& candidates) {
-    MiningStats& stats = result_.stats;
-    stats.nodes_visited++;
-    stats.max_depth = std::max(stats.max_depth, pattern_.size());
-    if (!budget_.IsUnlimited() && budget_.Expired()) {
-      Stop("time_budget");
-      return;
-    }
-
-    const SupportSet& support_set = prefix_sets_.back();
-    const uint64_t support = support_set.size();
-
-    // --- Children (append extensions; also CCheck case 1 of Def. 3.4). ---
-    std::vector<std::pair<EventId, SupportSet>> children;
-    std::vector<EventId> child_candidates;
-    bool non_closed = false;
-    for (EventId e : candidates) {
-      SupportSet grown = GrowSupportSet(index_, support_set, e);
-      stats.insgrow_calls++;
-      if (grown.size() == support) non_closed = true;
-      if (grown.size() >= options_.min_support) {
-        child_candidates.push_back(e);
-        children.emplace_back(e, std::move(grown));
-      }
-    }
-
-    // --- Insert/prepend extensions (CCheck cases 2-3 + LBCheck). ---
-    // If LB pruning is off we only need closure information, so we can stop
-    // scanning once the pattern is known to be non-closed.
-    bool prune = false;
-    if (!non_closed || options_.use_landmark_border_pruning) {
-      prune = CheckInsertExtensions(support_set, &non_closed);
-    }
-
-    if (prune) {
-      stats.lb_pruned_subtrees++;
-      return;  // Theorem 5: no closed pattern has pattern_ as a prefix.
-    }
-
-    if (non_closed) {
-      stats.nonclosed_suppressed++;
-    } else {
-      if (options_.collect_patterns) {
-        result_.patterns.push_back(PatternRecord{Pattern(pattern_), support});
-      }
-      stats.patterns_found++;
-      if (stats.patterns_found >= options_.max_patterns) {
-        Stop("max_patterns");
-        return;
-      }
-    }
-
-    if (pattern_.size() >= options_.max_pattern_length) return;
-    const std::vector<EventId>& next_candidates =
-        options_.use_candidate_list ? child_candidates : candidates;
-    for (auto& [e, child_set] : children) {
-      if (stopped_) return;
-      pattern_.push_back(e);
-      prefix_sets_.push_back(std::move(child_set));
-      Dfs(next_candidates);
-      prefix_sets_.pop_back();
-      pattern_.pop_back();
-    }
-  }
-
-  // Scans insert/prepend extensions. Sets *non_closed when an equal-support
-  // extension exists; returns true when LBCheck says the subtree can be
-  // pruned (only when use_landmark_border_pruning).
-  //
-  // All growth here is restricted to the sequences where P has instances:
-  // by the per-sequence Apriori property, sup_i(P) = 0 implies
-  // sup_i(P') = 0 for every super-pattern P', so sequences outside P's
-  // support set contribute nothing to any extension's support or to its
-  // leftmost support set. Restricting the (potentially huge) low-prefix
-  // support sets to those sequences makes closure checking cheap for
-  // patterns concentrated in few sequences.
-  bool CheckInsertExtensions(const SupportSet& support_set, bool* non_closed) {
-    MiningStats& stats = result_.stats;
-    const uint64_t support = support_set.size();
-    const size_t m = pattern_.size();
-
-    const std::vector<EventId> insert_candidates =
-        InsertCandidates(support_set);
-    if (insert_candidates.empty()) return false;
-
-    // Sequences containing instances of P (support_set is seq-sorted), and
-    // the prefix support sets restricted to them.
-    std::vector<SeqId> relevant;
-    for (const Instance& inst : support_set) {
-      if (relevant.empty() || relevant.back() != inst.seq) {
-        relevant.push_back(inst.seq);
-      }
-    }
-    auto is_relevant = [&](SeqId seq) {
-      return std::binary_search(relevant.begin(), relevant.end(), seq);
-    };
-    std::vector<SupportSet> restricted(m);
-    for (size_t j = 0; j < m; ++j) {
-      restricted[j].reserve(std::min<size_t>(prefix_sets_[j].size(), 64));
-      for (const Instance& inst : prefix_sets_[j]) {
-        if (is_relevant(inst.seq)) restricted[j].push_back(inst);
-      }
-    }
-
-    for (size_t gap = 0; gap < m; ++gap) {
-      for (EventId e : insert_candidates) {
-        // Inserting an event equal to the one right after the gap yields
-        // the same extension pattern as inserting it one gap to the right
-        // (ultimately an append, covered by the DFS children) — skip the
-        // duplicate here. Sound because the extension pattern, and hence
-        // its leftmost support set, is identical.
-        if (e == pattern_[gap]) continue;
-        // Base: leftmost support set of e_1..e_gap ◦ e (restricted).
-        SupportSet current;
-        if (gap == 0) {
-          for (SeqId seq : relevant) {
-            for (Position p : index_.Positions(seq, e)) {
-              current.push_back(Instance{seq, p, p});
-            }
-          }
-        } else {
-          current = GrowSupportSet(index_, restricted[gap - 1], e);
-          stats.insgrow_calls++;
-        }
-        if (current.size() < support) continue;  // Apriori early exit.
-        // Regrow the remaining events of the pattern.
-        bool alive = true;
-        for (size_t k = gap; k < m; ++k) {
-          current = GrowSupportSet(index_, current, pattern_[k]);
-          stats.insgrow_calls++;
-          if (current.size() < support) {
-            alive = false;
-            break;
-          }
-        }
-        if (!alive) continue;
-        // sup(P') <= sup(P) by the Apriori property, so equality holds here.
-        GSGROW_DCHECK(current.size() == support);
-        *non_closed = true;
-        if (!options_.use_landmark_border_pruning) return false;
-        if (BorderDoesNotShiftRight(current, support_set)) return true;
-      }
-    }
-    return false;
-  }
-
-  // Theorem 5 condition (ii): with both leftmost support sets sorted in
-  // right-shift order, l'^(k)_{m+1} <= l^(k)_m for every k. Condition (i)
-  // (equal support) is checked by the caller; equal per-sequence supports
-  // make the k-th instances live in the same sequence.
-  static bool BorderDoesNotShiftRight(const SupportSet& extended,
-                                      const SupportSet& original) {
-    GSGROW_DCHECK(extended.size() == original.size());
-    for (size_t k = 0; k < extended.size(); ++k) {
-      GSGROW_DCHECK(extended[k].seq == original[k].seq);
-      if (extended[k].last > original[k].last) return false;
-    }
-    return true;
-  }
-
-  // Sound candidate filter for insert/prepend extensions: an equal-support
-  // extension must preserve the per-sequence supports n_i, and each of the
-  // n_i pairwise non-overlapping instances consumes a distinct occurrence of
-  // the inserted event, so count_i(e) >= n_i must hold for every sequence
-  // with n_i > 0 (DESIGN.md §1). Falls back to all present events when the
-  // filter is disabled.
-  std::vector<EventId> InsertCandidates(const SupportSet& support_set) {
-    const uint64_t support = support_set.size();
-    if (!options_.use_insert_candidate_filter) {
-      std::vector<EventId> all;
-      for (EventId e : index_.present_events()) {
-        if (index_.TotalCount(e) >= support) all.push_back(e);
-      }
-      return all;
-    }
-    // Gather (sequence, n_i) pairs; support_set is sorted by sequence.
-    seq_counts_.clear();
-    for (const Instance& inst : support_set) {
-      if (!seq_counts_.empty() && seq_counts_.back().first == inst.seq) {
-        seq_counts_.back().second++;
-      } else {
-        seq_counts_.emplace_back(inst.seq, 1u);
-      }
-    }
-    // Enumerate events of the first sequence and verify against the rest.
-    std::vector<EventId> out;
-    const auto& [first_seq, first_need] = seq_counts_.front();
-    for (EventId e : index_.EventsInSequence(first_seq)) {
-      if (index_.Count(first_seq, e) < first_need) continue;
-      bool ok = true;
-      for (size_t i = 1; i < seq_counts_.size(); ++i) {
-        if (index_.Count(seq_counts_[i].first, e) < seq_counts_[i].second) {
-          ok = false;
-          break;
-        }
-      }
-      if (ok) out.push_back(e);
-    }
-    return out;
-  }
-
-  void Stop(const char* reason) {
-    stopped_ = true;
-    result_.stats.truncated = true;
-    result_.stats.truncated_reason = reason;
-  }
-
-  const InvertedIndex& index_;
-  const MinerOptions& options_;
-  TimeBudget budget_;
-  MiningResult result_;
-  std::vector<EventId> pattern_;
-  // prefix_sets_[k] = leftmost support set of pattern_[0..k].
-  std::vector<SupportSet> prefix_sets_;
-  std::vector<std::pair<SeqId, uint32_t>> seq_counts_;
-  bool stopped_ = false;
-};
-
-}  // namespace
 
 MiningResult MineClosedFrequent(const InvertedIndex& index,
                                 const MinerOptions& options) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  return CloGSgrowRun(index, options).Run();
+  UnconstrainedExtension extension(index);
+  ClosurePruning pruning(index, options);
+  if (options.collect_patterns) {
+    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+  }
+  return GrowthEngine(extension, pruning, CountSink(), options).Run();
 }
 
 MiningResult MineClosedFrequent(const SequenceDatabase& db,

@@ -1,7 +1,9 @@
 // CloGSgrow (paper Algorithm 4): mine CLOSED frequent repetitive gapped
 // subsequences.
 //
-// Two strategies on top of GSgrow's DFS:
+// Implemented as a thin configuration over the unified GrowthEngine
+// (growth_engine.h): unconstrained INSgrow extension plus the ClosurePruning
+// policy, which adds two strategies on top of GSgrow's DFS:
 //
 //  * Closure checking (CCheck, Theorem 4): a pattern P is non-closed iff some
 //    single-event extension (append / insert / prepend, Definition 3.4) has
@@ -13,11 +15,8 @@
 //    landmark positions right (l'_{m+1} <= l_m instance-wise), then no closed
 //    pattern has P as a prefix and the whole DFS subtree is pruned.
 //
-// Append extensions are exactly the DFS children, so their supports come for
-// free. Insert/prepend extensions at gap j reuse the leftmost support set of
-// the prefix e_1..e_j kept on the DFS stack, grow it with the candidate
-// event, then regrow e_{j+1}..e_m with Apriori early exit. Candidates are
-// pre-filtered by the sound per-sequence-count condition (DESIGN.md §1).
+// See DESIGN.md §0-§2 for the policy architecture, the insert-candidate
+// filter, and the leftmost-support invariants the closure checks rely on.
 
 #ifndef GSGROW_CORE_CLOGSGROW_H_
 #define GSGROW_CORE_CLOGSGROW_H_

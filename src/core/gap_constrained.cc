@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/growth_engine.h"
 #include "core/instance_growth.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace gsgrow {
 
@@ -62,92 +62,17 @@ uint64_t ExactGapConstrainedSupport(const SequenceDatabase& db,
   return ReferenceSupport(db, pattern, gap);
 }
 
-namespace {
-
-/// DFS append-growth with exact supports; prefix-Apriori pruning only.
-class GapConstrainedRun {
- public:
-  GapConstrainedRun(const SequenceDatabase& db, const MinerOptions& options,
-                    const LandmarkGapConstraint& gap)
-      : db_(db),
-        options_(options),
-        gap_(gap),
-        budget_(options.time_budget_seconds) {}
-
-  MiningResult Run() {
-    WallTimer timer;
-    std::vector<EventId> alphabet;
-    {
-      // Frequent single events by total occurrence count.
-      InvertedIndex index(db_);
-      for (EventId e : index.present_events()) {
-        if (index.TotalCount(e) >= options_.min_support) {
-          alphabet.push_back(e);
-        }
-      }
-    }
-    for (EventId e : alphabet) {
-      if (stopped_) break;
-      pattern_.push_back(e);
-      Dfs(alphabet);
-      pattern_.pop_back();
-    }
-    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return std::move(result_);
-  }
-
- private:
-  void Dfs(const std::vector<EventId>& alphabet) {
-    result_.stats.nodes_visited++;
-    if (stopped_) return;
-    if (!budget_.IsUnlimited() && budget_.Expired()) {
-      Stop("time_budget");
-      return;
-    }
-    Pattern pattern(pattern_);
-    const uint64_t support = ExactGapConstrainedSupport(db_, pattern, gap_);
-    if (support < options_.min_support) return;
-    if (options_.collect_patterns) {
-      result_.patterns.push_back(PatternRecord{pattern, support});
-    }
-    result_.stats.patterns_found++;
-    result_.stats.max_depth =
-        std::max(result_.stats.max_depth, pattern_.size());
-    if (result_.stats.patterns_found >= options_.max_patterns) {
-      Stop("max_patterns");
-      return;
-    }
-    if (pattern_.size() >= options_.max_pattern_length) return;
-    for (EventId e : alphabet) {
-      if (stopped_) return;
-      pattern_.push_back(e);
-      Dfs(alphabet);
-      pattern_.pop_back();
-    }
-  }
-
-  void Stop(const char* reason) {
-    stopped_ = true;
-    result_.stats.truncated = true;
-    result_.stats.truncated_reason = reason;
-  }
-
-  const SequenceDatabase& db_;
-  const MinerOptions& options_;
-  const LandmarkGapConstraint& gap_;
-  TimeBudget budget_;
-  MiningResult result_;
-  std::vector<EventId> pattern_;
-  bool stopped_ = false;
-};
-
-}  // namespace
-
 MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
                                            const MinerOptions& options,
                                            const LandmarkGapConstraint& gap) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  return GapConstrainedRun(db, options, gap).Run();
+  InvertedIndex index(db);
+  BoundedGapExtension extension(db, index, gap, options.min_support);
+  NoPruning pruning;
+  if (options.collect_patterns) {
+    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+  }
+  return GrowthEngine(extension, pruning, CountSink(), options).Run();
 }
 
 }  // namespace gsgrow

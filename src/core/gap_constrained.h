@@ -22,7 +22,9 @@
 // constraint of the remaining prefix, so sup_gc(prefix) >= sup_gc(pattern)
 // and append-growth search remains complete. (Full Apriori fails under gap
 // constraints: deleting a MIDDLE event can merge two small gaps into one
-// oversized gap.)
+// oversized gap — which is why the BoundedGapExtension policy opts out of
+// candidate-list inheritance.) The miner is a configuration of the unified
+// GrowthEngine (growth_engine.h) over that extension policy.
 
 #ifndef GSGROW_CORE_GAP_CONSTRAINED_H_
 #define GSGROW_CORE_GAP_CONSTRAINED_H_

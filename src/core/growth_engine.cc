@@ -1,0 +1,284 @@
+#include "core/growth_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/gap_constrained.h"
+#include "core/instance_growth.h"
+#include "util/logging.h"
+
+namespace gsgrow {
+
+namespace {
+
+// Shared root enumeration: single-event patterns are frequent iff their
+// database-wide occurrence count reaches min_support, under any extension
+// policy (a single event has no landmark gaps to constrain).
+std::vector<EventId> FrequentEventsByTotalCount(const InvertedIndex& index,
+                                                uint64_t min_support) {
+  std::vector<EventId> roots;
+  for (EventId e : index.present_events()) {
+    if (index.TotalCount(e) >= min_support) roots.push_back(e);
+  }
+  return roots;
+}
+
+GrownChild RootChild(const InvertedIndex& index, EventId e) {
+  GrownChild child;
+  child.set = RootInstances(index, e);
+  child.support = child.set.size();
+  return child;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UnconstrainedExtension
+// ---------------------------------------------------------------------------
+
+std::vector<EventId> UnconstrainedExtension::FrequentRoots(
+    uint64_t min_support) const {
+  return FrequentEventsByTotalCount(*index_, min_support);
+}
+
+GrownChild UnconstrainedExtension::Root(EventId e) const {
+  return RootChild(*index_, e);
+}
+
+GrownChild UnconstrainedExtension::Extend(const GrowthNode& node,
+                                          EventId e) const {
+  GrownChild child;
+  child.set = GrowSupportSet(*index_, node.prefix_sets.back(), e);
+  node.stats.insgrow_calls++;
+  child.support = child.set.size();
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedGapExtension
+// ---------------------------------------------------------------------------
+
+std::vector<EventId> BoundedGapExtension::FrequentRoots(
+    uint64_t min_support) const {
+  return FrequentEventsByTotalCount(*index_, min_support);
+}
+
+GrownChild BoundedGapExtension::Root(EventId e) const {
+  return RootChild(*index_, e);
+}
+
+GrownChild BoundedGapExtension::Extend(const GrowthNode& node,
+                                       EventId e) const {
+  GrownChild child;
+  // Unconstrained INSgrow state: |set| = sup(P ◦ e) >= sup_gc(P ◦ e), since
+  // dropping the constraint only adds instances. A child that is infrequent
+  // even unconstrained needs no flow computation — report the (under-
+  // min_support) upper bound and let the engine prune it.
+  child.set = GrowSupportSet(*index_, node.prefix_sets.back(), e);
+  node.stats.insgrow_calls++;
+  const uint64_t upper_bound = child.set.size();
+  if (upper_bound < min_support_) {
+    child.support = upper_bound;
+    return child;
+  }
+  // Exact support via the layered max-flow oracle (greedy bounded-gap
+  // growth is not maximum under constraints, so only the flow value can be
+  // reported for frequent patterns).
+  std::vector<EventId> events = node.pattern;
+  events.push_back(e);
+  child.support = ReferenceSupport(*db_, Pattern(std::move(events)), *gap_);
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// ClosurePruning
+// ---------------------------------------------------------------------------
+
+EmitDecision ClosurePruning::Decide(const GrowthNode& node,
+                                    bool equal_support_append) {
+  bool non_closed = equal_support_append;
+  // If LB pruning is off we only need closure information, so the scan can
+  // stop once the pattern is known to be non-closed.
+  bool prune = false;
+  if (!non_closed || options_->use_landmark_border_pruning) {
+    prune = CheckInsertExtensions(node, &non_closed);
+  }
+  if (prune) {
+    // Theorem 5: no closed pattern has node.pattern as a prefix.
+    return EmitDecision{.emit = false, .prune_subtree = true};
+  }
+  return EmitDecision{.emit = !non_closed, .prune_subtree = false};
+}
+
+// Scans insert/prepend extensions (CCheck cases 2-3 + LBCheck). Sets
+// *non_closed when an equal-support extension exists; returns true when
+// LBCheck says the subtree can be pruned (only when
+// use_landmark_border_pruning).
+//
+// All growth here is restricted to the sequences where P has instances:
+// by the per-sequence Apriori property, sup_i(P) = 0 implies sup_i(P') = 0
+// for every super-pattern P', so sequences outside P's support set
+// contribute nothing to any extension's support or to its leftmost support
+// set. Restricting the (potentially huge) low-prefix support sets to those
+// sequences makes closure checking cheap for patterns concentrated in few
+// sequences.
+bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
+                                           bool* non_closed) {
+  const InvertedIndex& index = *index_;
+  MiningStats& stats = node.stats;
+  const std::vector<EventId>& pattern = node.pattern;
+  const SupportSet& support_set = node.prefix_sets.back();
+  const uint64_t support = support_set.size();
+  const size_t m = pattern.size();
+
+  const std::vector<EventId> insert_candidates = InsertCandidates(support_set);
+  if (insert_candidates.empty()) return false;
+
+  // Sequences containing instances of P (support_set is seq-sorted), and
+  // the prefix support sets restricted to them.
+  std::vector<SeqId> relevant;
+  for (const Instance& inst : support_set) {
+    if (relevant.empty() || relevant.back() != inst.seq) {
+      relevant.push_back(inst.seq);
+    }
+  }
+  auto is_relevant = [&](SeqId seq) {
+    return std::binary_search(relevant.begin(), relevant.end(), seq);
+  };
+  std::vector<SupportSet> restricted(m);
+  for (size_t j = 0; j < m; ++j) {
+    restricted[j].reserve(std::min<size_t>(node.prefix_sets[j].size(), 64));
+    for (const Instance& inst : node.prefix_sets[j]) {
+      if (is_relevant(inst.seq)) restricted[j].push_back(inst);
+    }
+  }
+
+  for (size_t gap = 0; gap < m; ++gap) {
+    for (EventId e : insert_candidates) {
+      // Inserting an event equal to the one right after the gap yields
+      // the same extension pattern as inserting it one gap to the right
+      // (ultimately an append, covered by the DFS children) — skip the
+      // duplicate here. Sound because the extension pattern, and hence
+      // its leftmost support set, is identical.
+      if (e == pattern[gap]) continue;
+      // Base: leftmost support set of e_1..e_gap ◦ e (restricted).
+      SupportSet current;
+      if (gap == 0) {
+        for (SeqId seq : relevant) {
+          for (Position p : index.Positions(seq, e)) {
+            current.push_back(Instance{seq, p, p});
+          }
+        }
+      } else {
+        current = GrowSupportSet(index, restricted[gap - 1], e);
+        stats.insgrow_calls++;
+      }
+      if (current.size() < support) continue;  // Apriori early exit.
+      // Regrow the remaining events of the pattern.
+      bool alive = true;
+      for (size_t k = gap; k < m; ++k) {
+        current = GrowSupportSet(index, current, pattern[k]);
+        stats.insgrow_calls++;
+        if (current.size() < support) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      // sup(P') <= sup(P) by the Apriori property, so equality holds here.
+      GSGROW_DCHECK(current.size() == support);
+      *non_closed = true;
+      if (!options_->use_landmark_border_pruning) return false;
+      if (BorderDoesNotShiftRight(current, support_set)) return true;
+    }
+  }
+  return false;
+}
+
+// Theorem 5 condition (ii): with both leftmost support sets sorted in
+// right-shift order, l'^(k)_{m+1} <= l^(k)_m for every k. Condition (i)
+// (equal support) is checked by the caller; equal per-sequence supports
+// make the k-th instances live in the same sequence.
+bool ClosurePruning::BorderDoesNotShiftRight(const SupportSet& extended,
+                                             const SupportSet& original) {
+  GSGROW_DCHECK(extended.size() == original.size());
+  for (size_t k = 0; k < extended.size(); ++k) {
+    GSGROW_DCHECK(extended[k].seq == original[k].seq);
+    if (extended[k].last > original[k].last) return false;
+  }
+  return true;
+}
+
+// Sound candidate filter for insert/prepend extensions: an equal-support
+// extension must preserve the per-sequence supports n_i, and each of the
+// n_i pairwise non-overlapping instances consumes a distinct occurrence of
+// the inserted event, so count_i(e) >= n_i must hold for every sequence
+// with n_i > 0 (DESIGN.md §1). Falls back to all present events when the
+// filter is disabled.
+std::vector<EventId> ClosurePruning::InsertCandidates(
+    const SupportSet& support_set) {
+  const InvertedIndex& index = *index_;
+  const uint64_t support = support_set.size();
+  if (!options_->use_insert_candidate_filter) {
+    std::vector<EventId> all;
+    for (EventId e : index.present_events()) {
+      if (index.TotalCount(e) >= support) all.push_back(e);
+    }
+    return all;
+  }
+  // Gather (sequence, n_i) pairs; support_set is sorted by sequence.
+  seq_counts_.clear();
+  for (const Instance& inst : support_set) {
+    if (!seq_counts_.empty() && seq_counts_.back().first == inst.seq) {
+      seq_counts_.back().second++;
+    } else {
+      seq_counts_.emplace_back(inst.seq, 1u);
+    }
+  }
+  // Enumerate events of the first sequence and verify against the rest.
+  std::vector<EventId> out;
+  const auto& [first_seq, first_need] = seq_counts_.front();
+  for (EventId e : index.EventsInSequence(first_seq)) {
+    if (index.Count(first_seq, e) < first_need) continue;
+    bool ok = true;
+    for (size_t i = 1; i < seq_counts_.size(); ++i) {
+      if (index.Count(seq_counts_[i].first, e) < seq_counts_[i].second) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(e);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TopKSink
+// ---------------------------------------------------------------------------
+
+bool TopKSink::Better(const PatternRecord& a, const PatternRecord& b) {
+  if (a.support != b.support) return a.support > b.support;
+  return a.pattern < b.pattern;
+}
+
+void TopKSink::Emit(const std::vector<EventId>& events, uint64_t support) {
+  if (events.size() < min_length_) return;
+  PatternRecord record{Pattern(events), support};
+  if (heap_.size() < k_) {
+    heap_.push_back(std::move(record));
+    std::push_heap(heap_.begin(), heap_.end(), Better);
+    return;
+  }
+  if (!Better(record, heap_.front())) return;
+  std::pop_heap(heap_.begin(), heap_.end(), Better);
+  heap_.back() = std::move(record);
+  std::push_heap(heap_.begin(), heap_.end(), Better);
+}
+
+std::vector<PatternRecord> TopKSink::Take() {
+  std::sort(heap_.begin(), heap_.end(), Better);
+  return std::move(heap_);
+}
+
+}  // namespace gsgrow

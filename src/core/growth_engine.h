@@ -1,0 +1,390 @@
+// The unified pattern-growth engine (DESIGN.md §0).
+//
+// GSgrow (Algorithm 3), CloGSgrow (Algorithm 4), gap-constrained mining and
+// top-K mining all share one DFS skeleton: enumerate frequent root events,
+// extend the current pattern's support-set state one event at a time,
+// Apriori-filter the candidate events, and emit the frequent nodes. The
+// GrowthEngine owns that skeleton exactly once, parameterized by three
+// policies supplied at compile time:
+//
+//  * ExtensionPolicy — how a pattern's support-set state grows by one event
+//    and what its support is. UnconstrainedExtension wraps INSgrow
+//    (leftmost-is-maximum, Lemma 4); BoundedGapExtension uses the bounded-
+//    gap next() queries of gap_constrained.h for its state and the exact
+//    layered max-flow oracle for supports. The policy also declares whether
+//    candidate-list inheritance is sound for its support measure
+//    (kSupportsCandidateList; full Apriori fails under gap constraints).
+//
+//  * PruningPolicy — per-node emission/pruning decision. NoPruning emits
+//    every frequent node (GSgrow). ClosurePruning implements CCheck
+//    (Theorem 4) and LBCheck (Theorem 5): non-closed patterns are
+//    suppressed but their subtrees still explored (Example 3.5), and
+//    subtrees that provably contain no closed pattern are cut.
+//
+//  * EmissionSink — what happens to an emitted pattern. CollectSink
+//    materializes PatternRecords, CountSink only lets the engine count,
+//    TopKSink keeps a bounded best-K heap whose rising support floor
+//    feeds back into the engine as an extra pruning threshold.
+//
+// Budgets (max_patterns, time, max_pattern_length) and MiningStats
+// bookkeeping live in the engine so every miner reports them uniformly.
+
+#ifndef GSGROW_CORE_GROWTH_ENGINE_H_
+#define GSGROW_CORE_GROWTH_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/inverted_index.h"
+#include "core/miner_options.h"
+#include "core/mining_result.h"
+#include "core/pattern.h"
+#include "core/reference.h"
+#include "core/sequence_database.h"
+#include "core/types.h"
+#include "util/timer.h"
+
+namespace gsgrow {
+
+/// Read-only view of the engine's DFS state handed to the policies.
+struct GrowthNode {
+  /// The current pattern e_1 .. e_m.
+  const std::vector<EventId>& pattern;
+  /// prefix_sets[k]: support-set state of the prefix e_1 .. e_{k+1}; the
+  /// back entry belongs to the full current pattern. For the unconstrained
+  /// policy this is the leftmost support set (Definition 3.2) of each
+  /// prefix, the invariant ClosurePruning relies on.
+  const std::vector<SupportSet>& prefix_sets;
+  /// supports[k] = sup(e_1 .. e_{k+1}) as defined by the extension policy.
+  const std::vector<uint64_t>& supports;
+  MiningStats& stats;
+};
+
+/// State and support of the current pattern grown by one event.
+struct GrownChild {
+  SupportSet set;
+  uint64_t support = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Extension policies
+// ---------------------------------------------------------------------------
+
+/// Plain repetitive gapped subsequences: INSgrow extension of leftmost
+/// support sets; sup(P) == |leftmost support set of P| (Lemma 4).
+class UnconstrainedExtension {
+ public:
+  /// Deleting a middle event never lowers the support (full Apriori), so a
+  /// parent's frequent-extension list stays sound for its children.
+  static constexpr bool kSupportsCandidateList = true;
+
+  explicit UnconstrainedExtension(const InvertedIndex& index)
+      : index_(&index) {}
+
+  /// Events with database-wide occurrence count >= min_support, ascending.
+  std::vector<EventId> FrequentRoots(uint64_t min_support) const;
+
+  /// Leftmost support set of the size-1 pattern <e>.
+  GrownChild Root(EventId e) const;
+
+  /// Leftmost support set of pattern ◦ e from the node's state (INSgrow).
+  GrownChild Extend(const GrowthNode& node, EventId e) const;
+
+  const InvertedIndex& index() const { return *index_; }
+
+ private:
+  const InvertedIndex* index_;
+};
+
+/// Exact gap-constrained mining (gap_constrained.h). Reported supports come
+/// from the exact layered max-flow oracle (greedy bounded-gap growth is only
+/// a lower bound under constraints, Lemma 4 does not apply), so the mined
+/// output is exact. The support-set state kept on the engine stack is the
+/// UNCONSTRAINED leftmost support set: dropping the gap constraint only adds
+/// instances, so its size upper-bounds sup_gc and lets Extend skip the
+/// expensive flow computation for children that are hopeless even without
+/// the constraint. For such pruned children the returned support is that
+/// upper bound (< min_support), not the exact value — fine for NoPruning,
+/// which is the only policy this extension is specified to combine with
+/// (DESIGN.md §2).
+class BoundedGapExtension {
+ public:
+  /// Deleting a MIDDLE event can merge two small gaps into one oversized
+  /// gap, so sup_gc is not monotone under middle deletion and candidate-list
+  /// inheritance is unsound; only prefix-Apriori (suffix deletion) holds.
+  static constexpr bool kSupportsCandidateList = false;
+
+  /// `min_support` is the mining threshold: children whose unconstrained
+  /// upper bound is already below it skip the flow oracle entirely.
+  BoundedGapExtension(const SequenceDatabase& db, const InvertedIndex& index,
+                      const LandmarkGapConstraint& gap, uint64_t min_support)
+      : db_(&db), index_(&index), gap_(&gap), min_support_(min_support) {}
+
+  std::vector<EventId> FrequentRoots(uint64_t min_support) const;
+
+  /// Single events have no landmark gaps, so the unconstrained root set is
+  /// exact under any constraint.
+  GrownChild Root(EventId e) const;
+
+  GrownChild Extend(const GrowthNode& node, EventId e) const;
+
+ private:
+  const SequenceDatabase* db_;
+  const InvertedIndex* index_;
+  const LandmarkGapConstraint* gap_;
+  uint64_t min_support_;
+};
+
+// ---------------------------------------------------------------------------
+// Pruning / closure policies
+// ---------------------------------------------------------------------------
+
+/// What the pruning policy decided about the current node.
+struct EmitDecision {
+  /// Emit the node to the sink (false = suppress, e.g. non-closed).
+  bool emit = true;
+  /// Abandon the whole DFS subtree (LBCheck, Theorem 5). The node itself is
+  /// neither emitted nor suppressed; the engine counts it as pruned.
+  bool prune_subtree = false;
+};
+
+/// GSgrow: every frequent node is emitted, nothing is pruned.
+class NoPruning {
+ public:
+  static constexpr bool kNeedsChildren = false;
+
+  EmitDecision Decide(const GrowthNode&, bool /*equal_support_append*/) {
+    return EmitDecision{};
+  }
+};
+
+/// CloGSgrow: CCheck closure checking + LBCheck subtree pruning.
+///
+/// Append extensions (Definition 3.4 case 1) are exactly the DFS children,
+/// so the engine reports whether an equal-support append exists
+/// (kNeedsChildren makes it compute children even at the depth cap).
+/// Insert/prepend extensions at gap j reuse the leftmost support set of the
+/// prefix e_1..e_j kept on the engine's stack, grow it with the candidate
+/// event, then regrow e_{j+1}..e_m with Apriori early exit. Candidates are
+/// pre-filtered by the sound per-sequence-count condition (DESIGN.md §1).
+class ClosurePruning {
+ public:
+  static constexpr bool kNeedsChildren = true;
+
+  ClosurePruning(const InvertedIndex& index, const MinerOptions& options)
+      : index_(&index), options_(&options) {}
+
+  EmitDecision Decide(const GrowthNode& node, bool equal_support_append);
+
+ private:
+  bool CheckInsertExtensions(const GrowthNode& node, bool* non_closed);
+  static bool BorderDoesNotShiftRight(const SupportSet& extended,
+                                      const SupportSet& original);
+  std::vector<EventId> InsertCandidates(const SupportSet& support_set);
+
+  const InvertedIndex* index_;
+  const MinerOptions* options_;
+  // Scratch (sequence, n_i) pairs reused across nodes.
+  std::vector<std::pair<SeqId, uint32_t>> seq_counts_;
+};
+
+// ---------------------------------------------------------------------------
+// Emission sinks
+// ---------------------------------------------------------------------------
+
+/// Materializes every emitted pattern (MiningResult::patterns).
+class CollectSink {
+ public:
+  void Emit(const std::vector<EventId>& events, uint64_t support) {
+    patterns_.push_back(PatternRecord{Pattern(events), support});
+  }
+  uint64_t SupportFloor() const { return 0; }
+  std::vector<PatternRecord> Take() { return std::move(patterns_); }
+
+ private:
+  std::vector<PatternRecord> patterns_;
+};
+
+/// Discards patterns; only MiningStats::patterns_found counts. Benchmarks
+/// mining tens of millions of patterns use this (collect_patterns = false).
+class CountSink {
+ public:
+  void Emit(const std::vector<EventId>&, uint64_t) {}
+  uint64_t SupportFloor() const { return 0; }
+  std::vector<PatternRecord> Take() { return {}; }
+};
+
+/// Bounded best-K heap ordered by (support desc, pattern asc), ignoring
+/// patterns shorter than min_length. Once full, its weakest support becomes
+/// a rising floor the engine uses to prune whole subtrees: extension never
+/// increases support, so a child below the floor cannot reach the heap.
+class TopKSink {
+ public:
+  TopKSink(size_t k, size_t min_length) : k_(k), min_length_(min_length) {}
+
+  void Emit(const std::vector<EventId>& events, uint64_t support);
+
+  /// 0 while the heap is filling; the weakest kept support once full.
+  /// Ties at the floor are kept (a lexicographically smaller pattern can
+  /// still displace the weakest entry).
+  uint64_t SupportFloor() const {
+    return heap_.size() < k_ ? 0 : heap_.front().support;
+  }
+
+  /// The kept records, best first.
+  std::vector<PatternRecord> Take();
+
+ private:
+  static bool Better(const PatternRecord& a, const PatternRecord& b);
+
+  size_t k_;
+  size_t min_length_;
+  // Heap on Better (front = weakest kept record).
+  std::vector<PatternRecord> heap_;
+};
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// One depth-first mining run over policy types. Policies are taken by
+/// value; referenced structures (index, database, options) must outlive
+/// Run().
+template <typename ExtensionPolicy, typename PruningPolicy,
+          typename EmissionSink>
+class GrowthEngine {
+ public:
+  GrowthEngine(ExtensionPolicy extension, PruningPolicy pruning,
+               EmissionSink sink, const MinerOptions& options)
+      : extension_(std::move(extension)),
+        pruning_(std::move(pruning)),
+        sink_(std::move(sink)),
+        options_(options),
+        budget_(options.time_budget_seconds) {}
+
+  MiningResult Run() {
+    WallTimer timer;
+    const std::vector<EventId> roots =
+        extension_.FrequentRoots(options_.min_support);
+    for (EventId e : roots) {
+      if (stopped_) break;
+      GrownChild root = extension_.Root(e);
+      if (root.support < options_.min_support) continue;
+      Push(e, std::move(root));
+      Dfs(roots);
+      Pop();
+    }
+    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
+    result_.patterns = sink_.Take();
+    return std::move(result_);
+  }
+
+ private:
+  // Pre: pattern_/prefix_sets_/supports_ describe a frequent pattern.
+  void Dfs(const std::vector<EventId>& candidates) {
+    MiningStats& stats = result_.stats;
+    stats.nodes_visited++;
+    stats.max_depth = std::max(stats.max_depth, pattern_.size());
+    if (!budget_.IsUnlimited() && budget_.Expired()) {
+      Stop("time_budget");
+      return;
+    }
+
+    const uint64_t support = supports_.back();
+    const GrowthNode node{pattern_, prefix_sets_, supports_, stats};
+
+    // Append extensions. Children that stay frequent (and above the sink's
+    // floor) are recursed into. With use_candidate_list, children inherit
+    // the list of events frequent *here* — sound whenever the extension
+    // policy's support measure has the full Apriori property. The closure
+    // policy needs the equal-support-append bit (CCheck case 1) even when
+    // the depth cap forbids recursing, hence kNeedsChildren.
+    std::vector<std::pair<EventId, GrownChild>> children;
+    std::vector<EventId> child_candidates;
+    bool equal_support_append = false;
+    const bool want_children = PruningPolicy::kNeedsChildren ||
+                               pattern_.size() < options_.max_pattern_length;
+    if (want_children) {
+      const uint64_t floor = EffectiveMinSupport();
+      for (EventId e : candidates) {
+        GrownChild child = extension_.Extend(node, e);
+        if (child.support == support) equal_support_append = true;
+        if (child.support >= floor) {
+          child_candidates.push_back(e);
+          children.emplace_back(e, std::move(child));
+        }
+      }
+    }
+
+    const EmitDecision decision = pruning_.Decide(node, equal_support_append);
+    if (decision.prune_subtree) {
+      stats.lb_pruned_subtrees++;
+      return;
+    }
+    if (decision.emit) {
+      sink_.Emit(pattern_, support);
+      stats.patterns_found++;
+      if (stats.patterns_found >= options_.max_patterns) {
+        Stop("max_patterns");
+        return;
+      }
+    } else {
+      stats.nonclosed_suppressed++;
+    }
+
+    if (pattern_.size() >= options_.max_pattern_length) return;
+    const std::vector<EventId>& next_candidates =
+        (options_.use_candidate_list && ExtensionPolicy::kSupportsCandidateList)
+            ? child_candidates
+            : candidates;
+    for (auto& [e, child] : children) {
+      if (stopped_) return;
+      // The sink floor may have risen since the child was grown.
+      if (child.support < EffectiveMinSupport()) continue;
+      Push(e, std::move(child));
+      Dfs(next_candidates);
+      Pop();
+    }
+  }
+
+  uint64_t EffectiveMinSupport() const {
+    return std::max(options_.min_support, sink_.SupportFloor());
+  }
+
+  void Push(EventId e, GrownChild child) {
+    pattern_.push_back(e);
+    prefix_sets_.push_back(std::move(child.set));
+    supports_.push_back(child.support);
+  }
+
+  void Pop() {
+    pattern_.pop_back();
+    prefix_sets_.pop_back();
+    supports_.pop_back();
+  }
+
+  void Stop(const char* reason) {
+    stopped_ = true;
+    result_.stats.truncated = true;
+    result_.stats.truncated_reason = reason;
+  }
+
+  ExtensionPolicy extension_;
+  PruningPolicy pruning_;
+  EmissionSink sink_;
+  const MinerOptions& options_;
+  TimeBudget budget_;
+  MiningResult result_;
+  std::vector<EventId> pattern_;
+  // prefix_sets_[k] / supports_[k]: state and support of pattern_[0..k].
+  std::vector<SupportSet> prefix_sets_;
+  std::vector<uint64_t> supports_;
+  bool stopped_ = false;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_GROWTH_ENGINE_H_

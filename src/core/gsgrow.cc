@@ -1,111 +1,19 @@
 #include "core/gsgrow.h"
 
-#include <algorithm>
-#include <utility>
-#include <vector>
-
-#include "core/instance_growth.h"
+#include "core/growth_engine.h"
 #include "util/logging.h"
-#include "util/timer.h"
 
 namespace gsgrow {
-
-namespace {
-
-/// One depth-first mining run (the subroutine mineFre of Algorithm 3,
-/// plus bookkeeping for budgets and statistics).
-class GSgrowRun {
- public:
-  GSgrowRun(const InvertedIndex& index, const MinerOptions& options)
-      : index_(index),
-        options_(options),
-        budget_(options.time_budget_seconds) {}
-
-  MiningResult Run() {
-    WallTimer timer;
-    std::vector<EventId> roots;
-    for (EventId e : index_.present_events()) {
-      if (index_.TotalCount(e) >= options_.min_support) roots.push_back(e);
-    }
-    for (EventId e : roots) {
-      if (stopped_) break;
-      SupportSet set = RootInstances(index_, e);
-      GSGROW_DCHECK(set.size() >= options_.min_support);
-      pattern_.push_back(e);
-      Dfs(set, roots);
-      pattern_.pop_back();
-    }
-    result_.stats.elapsed_seconds = timer.ElapsedSeconds();
-    return std::move(result_);
-  }
-
- private:
-  // Pre: |support_set| >= min_support; pattern_ holds the current pattern.
-  void Dfs(const SupportSet& support_set,
-           const std::vector<EventId>& candidates) {
-    MiningStats& stats = result_.stats;
-    stats.nodes_visited++;
-    stats.max_depth = std::max(stats.max_depth, pattern_.size());
-
-    if (options_.collect_patterns) {
-      result_.patterns.push_back(
-          PatternRecord{Pattern(pattern_), support_set.size()});
-    }
-    stats.patterns_found++;
-    if (stats.patterns_found >= options_.max_patterns) {
-      Stop("max_patterns");
-      return;
-    }
-    if (!budget_.IsUnlimited() && budget_.Expired()) {
-      Stop("time_budget");
-      return;
-    }
-    if (pattern_.size() >= options_.max_pattern_length) return;
-
-    // Grow with every candidate event; children that stay frequent are
-    // recursed into. With use_candidate_list, children inherit the list of
-    // events frequent *here* (sound: sup(P ◦ f ◦ e) <= sup(P ◦ e) by the
-    // Apriori property, so an event infrequent here stays infrequent below).
-    std::vector<std::pair<EventId, SupportSet>> children;
-    std::vector<EventId> child_candidates;
-    for (EventId e : candidates) {
-      SupportSet grown = GrowSupportSet(index_, support_set, e);
-      stats.insgrow_calls++;
-      if (grown.size() >= options_.min_support) {
-        child_candidates.push_back(e);
-        children.emplace_back(e, std::move(grown));
-      }
-    }
-    const std::vector<EventId>& next_candidates =
-        options_.use_candidate_list ? child_candidates : candidates;
-    for (auto& [e, child_set] : children) {
-      if (stopped_) return;
-      pattern_.push_back(e);
-      Dfs(child_set, next_candidates);
-      pattern_.pop_back();
-    }
-  }
-
-  void Stop(const char* reason) {
-    stopped_ = true;
-    result_.stats.truncated = true;
-    result_.stats.truncated_reason = reason;
-  }
-
-  const InvertedIndex& index_;
-  const MinerOptions& options_;
-  TimeBudget budget_;
-  MiningResult result_;
-  std::vector<EventId> pattern_;
-  bool stopped_ = false;
-};
-
-}  // namespace
 
 MiningResult MineAllFrequent(const InvertedIndex& index,
                              const MinerOptions& options) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  return GSgrowRun(index, options).Run();
+  UnconstrainedExtension extension(index);
+  NoPruning pruning;
+  if (options.collect_patterns) {
+    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+  }
+  return GrowthEngine(extension, pruning, CountSink(), options).Run();
 }
 
 MiningResult MineAllFrequent(const SequenceDatabase& db,

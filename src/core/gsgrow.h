@@ -1,5 +1,9 @@
 // GSgrow (paper Algorithm 3): mine ALL frequent repetitive gapped
 // subsequences by depth-first pattern growth with embedded instance growth.
+//
+// Implemented as a thin configuration over the unified GrowthEngine
+// (growth_engine.h, DESIGN.md §0): unconstrained INSgrow extension, no
+// pruning, collect/count emission.
 
 #ifndef GSGROW_CORE_GSGROW_H_
 #define GSGROW_CORE_GSGROW_H_

@@ -33,6 +33,8 @@ struct MinerOptions {
   /// Pass the parent's frequent-extension event list down the DFS instead of
   /// retrying the whole alphabet at every node (sound by the Apriori
   /// property; the paper's "maintain a list of possible events", §III-D).
+  /// Extension policies whose support measure lacks full Apriori (bounded
+  /// gaps) ignore this and always rescan the alphabet.
   bool use_candidate_list = true;
 
   // --- CloGSgrow-only switches (ignored by GSgrow) ---

@@ -1,8 +1,9 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "core/clogsgrow.h"
+#include "core/growth_engine.h"
 #include "core/inverted_index.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -21,7 +22,10 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
   }
   if (threshold == 0) return {};
 
-  std::vector<PatternRecord> qualifying;
+  // Threshold descent, with each step running the closed-mining engine into
+  // a bounded TopKSink: the heap caps memory at K records, and once full its
+  // weakest support feeds back as a rising floor that prunes subtrees no
+  // qualifying pattern can come from.
   for (;;) {
     MinerOptions miner_options;
     miner_options.min_support = threshold;
@@ -30,28 +34,19 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
       miner_options.time_budget_seconds =
           std::max(0.0, budget.LimitSeconds() - budget.ElapsedSeconds());
     }
-    MiningResult closed = MineClosedFrequent(index, miner_options);
-    qualifying.clear();
-    for (PatternRecord& r : closed.patterns) {
-      if (r.pattern.size() >= options.min_length) {
-        qualifying.push_back(std::move(r));
-      }
-    }
+    UnconstrainedExtension extension(index);
+    ClosurePruning pruning(index, miner_options);
+    TopKSink sink(options.k, options.min_length);
+    MiningResult result =
+        GrowthEngine(extension, pruning, std::move(sink), miner_options).Run();
     const bool out_of_budget =
-        closed.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
-    if (qualifying.size() >= options.k || threshold == 1 || out_of_budget) {
-      break;
+        result.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
+    if (result.patterns.size() >= options.k || threshold == 1 ||
+        out_of_budget) {
+      return std::move(result.patterns);
     }
     threshold = std::max<uint64_t>(1, threshold / 2);
   }
-
-  std::sort(qualifying.begin(), qualifying.end(),
-            [](const PatternRecord& a, const PatternRecord& b) {
-              if (a.support != b.support) return a.support > b.support;
-              return a.pattern < b.pattern;
-            });
-  if (qualifying.size() > options.k) qualifying.resize(options.k);
-  return qualifying;
 }
 
 }  // namespace gsgrow

@@ -5,7 +5,11 @@
 // Implemented by threshold descent: start from the highest single-event
 // support and repeatedly halve the threshold until K qualifying closed
 // patterns exist (or the floor of 1 is reached), then return the K best.
-// Each descent step reuses CloGSgrow, so all of its pruning applies.
+// Each descent step runs the GrowthEngine in its closed-mining
+// configuration (growth_engine.h) into a bounded TopKSink: memory stays
+// O(K), and once the heap fills, its weakest support feeds back into the
+// engine as a rising floor that prunes subtrees no qualifying pattern can
+// come from (extension never increases support).
 
 #ifndef GSGROW_CORE_TOPK_H_
 #define GSGROW_CORE_TOPK_H_

@@ -1,0 +1,218 @@
+// The refactor's safety net: the policy-based GrowthEngine must agree with
+// every way of computing the same answer — the miner facades, from-scratch
+// supComp (ComputeSupportSet), and each policy combination that is supposed
+// to be semantically equivalent to another.
+
+#include "core/growth_engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "gtest/gtest.h"
+
+#include "core/clogsgrow.h"
+#include "core/gap_constrained.h"
+#include "core/gsgrow.h"
+#include "core/instance_growth.h"
+#include "core/topk.h"
+#include "datagen/quest_generator.h"
+#include "test_util.h"
+
+namespace gsgrow {
+namespace {
+
+using testing::AsSet;
+
+// Small randomized corpora with heavy event reuse so patterns actually
+// repeat (both across sequences and within one sequence).
+SequenceDatabase QuestDatabase(uint64_t seed) {
+  QuestParams params;
+  params.num_sequences = 30;
+  params.avg_sequence_length = 12;
+  params.num_events = 8;
+  params.avg_pattern_length = 4;
+  params.num_potential_patterns = 10;
+  params.seed = seed;
+  return GenerateQuest(params);
+}
+
+// Runs the engine in the GSgrow configuration directly (no facade).
+MiningResult RunEngineAllFrequent(const InvertedIndex& index,
+                                  const MinerOptions& options) {
+  UnconstrainedExtension extension(index);
+  NoPruning pruning;
+  return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+}
+
+TEST(EngineParity, EngineEqualsGSgrowFacade) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 6;
+    options.max_pattern_length = 5;
+    EXPECT_EQ(AsSet(db, RunEngineAllFrequent(index, options).patterns),
+              AsSet(db, MineAllFrequent(index, options).patterns))
+        << "seed=" << seed;
+  }
+}
+
+// "CloGSgrow with closure checks disabled" is exactly the engine with the
+// closure policy swapped for NoPruning: it must emit every frequent
+// pattern, i.e. the GSgrow output, and the closed output is its subset.
+TEST(EngineParity, ClosureDisabledEqualsAllFrequent) {
+  for (uint64_t seed : {10u, 11u, 12u, 13u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 6;
+    options.max_pattern_length = 5;
+
+    auto all = AsSet(db, RunEngineAllFrequent(index, options).patterns);
+
+    UnconstrainedExtension extension(index);
+    ClosurePruning closure(index, options);
+    auto closed = AsSet(
+        db,
+        GrowthEngine(extension, closure, CollectSink(), options).Run().patterns);
+
+    for (const auto& p : closed) {
+      EXPECT_TRUE(all.count(p)) << "seed=" << seed << " " << p.first;
+    }
+    // Suppressed non-closed patterns are the only difference.
+    EXPECT_LE(closed.size(), all.size());
+  }
+}
+
+// Every emitted (pattern, support) pair must agree with supComp
+// (Algorithm 1) run from scratch — the INSgrow-extended leftmost support
+// sets the engine carries down the DFS cannot drift from the definition.
+TEST(EngineParity, SupportsAgreeWithFromScratchComputeSupportSet) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 5;
+    options.max_pattern_length = 5;
+    MiningResult result = RunEngineAllFrequent(index, options);
+    ASSERT_FALSE(result.stats.truncated);
+    for (const PatternRecord& r : result.patterns) {
+      EXPECT_EQ(ComputeSupportSet(index, r.pattern).size(), r.support)
+          << "seed=" << seed << " "
+          << r.pattern.ToCompactString(db.dictionary());
+    }
+  }
+}
+
+// Completeness: breadth-first growth over supComp finds exactly the
+// engine's pattern set (no DFS child is lost by the candidate-list or
+// floor plumbing).
+TEST(EngineParity, MatchesBreadthFirstEnumeration) {
+  for (uint64_t seed : {31u, 32u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 8;
+    options.max_pattern_length = 4;
+    MiningResult result = RunEngineAllFrequent(index, options);
+
+    std::vector<PatternRecord> expected;
+    std::vector<Pattern> frontier = {Pattern()};
+    for (size_t len = 0; len < 4; ++len) {
+      std::vector<Pattern> next;
+      for (const Pattern& p : frontier) {
+        for (EventId e = 0; e < db.AlphabetSize(); ++e) {
+          Pattern grown = p.Grow(e);
+          uint64_t support = ComputeSupportSet(index, grown).size();
+          if (support >= options.min_support) {
+            expected.push_back({grown, support});
+            next.push_back(std::move(grown));
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    EXPECT_EQ(AsSet(db, result.patterns), AsSet(db, expected))
+        << "seed=" << seed;
+  }
+}
+
+// The TopKSink (bounded heap + rising support floor) must select exactly
+// the prefix of the full closed output under the (support desc, pattern
+// asc) order it claims to implement.
+TEST(EngineParity, TopKSinkEqualsSortedClosedPrefix) {
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 4;
+    options.max_pattern_length = 5;
+
+    UnconstrainedExtension extension(index);
+    ClosurePruning closure_full(index, options);
+    MiningResult closed =
+        GrowthEngine(extension, closure_full, CollectSink(), options).Run();
+    std::sort(closed.patterns.begin(), closed.patterns.end(),
+              [](const PatternRecord& a, const PatternRecord& b) {
+                if (a.support != b.support) return a.support > b.support;
+                return a.pattern < b.pattern;
+              });
+
+    for (size_t k : {1u, 3u, 7u}) {
+      ClosurePruning closure(index, options);
+      MiningResult topk =
+          GrowthEngine(extension, closure, TopKSink(k, 1), options).Run();
+      ASSERT_EQ(topk.patterns.size(),
+                std::min(k, closed.patterns.size()));
+      for (size_t i = 0; i < topk.patterns.size(); ++i) {
+        EXPECT_EQ(topk.patterns[i], closed.patterns[i])
+            << "seed=" << seed << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+// The bounded-gap extension policy with an unconstrained gap must reduce to
+// plain GSgrow (same patterns, same supports).
+TEST(EngineParity, UnconstrainedGapPolicyEqualsGSgrow) {
+  for (uint64_t seed : {51u, 52u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    MinerOptions options;
+    options.min_support = 8;
+    options.max_pattern_length = 4;
+    MiningResult gapped =
+        MineAllFrequentGapConstrained(db, options, LandmarkGapConstraint{});
+    MiningResult plain = MineAllFrequent(db, options);
+    EXPECT_EQ(AsSet(db, gapped.patterns), AsSet(db, plain.patterns))
+        << "seed=" << seed;
+  }
+}
+
+// Facade-level spot check: the four public miners still hang together after
+// the migration (closed ⊆ all; top-K comes from the closed set).
+TEST(EngineParity, FacadesAgreeOnQuestData) {
+  SequenceDatabase db = QuestDatabase(99);
+  MinerOptions options;
+  options.min_support = 5;
+  options.max_pattern_length = 5;
+  auto all = AsSet(db, MineAllFrequent(db, options).patterns);
+  MiningResult closed = MineClosedFrequent(db, options);
+  std::map<Pattern, uint64_t> closed_by_pattern;
+  for (const PatternRecord& r : closed.patterns) {
+    EXPECT_TRUE(all.count({r.pattern.ToCompactString(db.dictionary()),
+                           r.support}));
+    closed_by_pattern[r.pattern] = r.support;
+  }
+  TopKOptions topk;
+  topk.k = 5;
+  topk.max_pattern_length = 5;
+  for (const PatternRecord& r : MineTopKClosed(db, topk)) {
+    auto it = closed_by_pattern.find(r.pattern);
+    if (it != closed_by_pattern.end()) {
+      EXPECT_EQ(it->second, r.support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -139,17 +139,27 @@ TEST(EndToEnd, ClosedIsAlwaysSubsetOfAllAcrossGenerators) {
     params.avg_pattern_length = 4;
     corpora.push_back(GenerateQuest(params));
   }
+  size_t compared = 0;
   for (const SequenceDatabase& db : corpora) {
     MinerOptions options;
     options.min_support = std::max<uint64_t>(2, db.size() / 2);
     options.max_pattern_length = 5;
     options.time_budget_seconds = 15.0;
-    auto all = AsSet(db, MineAllFrequent(db, options).patterns);
-    auto closed = AsSet(db, MineClosedFrequent(db, options).patterns);
+    MiningResult all_result = MineAllFrequent(db, options);
+    MiningResult closed_result = MineClosedFrequent(db, options);
+    // A truncated run yields a DFS-order prefix, and "closed subset of all"
+    // only holds between complete outputs (slow sanitizer builds can trip
+    // the budget). Skip the corpus rather than compare prefixes.
+    if (all_result.stats.truncated || closed_result.stats.truncated) continue;
+    auto all = AsSet(db, all_result.patterns);
+    auto closed = AsSet(db, closed_result.patterns);
     for (const auto& p : closed) {
       EXPECT_TRUE(all.count(p)) << p.first;
     }
+    compared++;
   }
+  // At least one corpus must be small enough to finish within budget.
+  EXPECT_GT(compared, 0u);
 }
 
 }  // namespace
