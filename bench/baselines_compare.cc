@@ -34,8 +34,7 @@ struct NamedDb {
 std::string RunBaseline(
     const std::function<MiningResult()>& run) {
   MiningResult result = run();
-  bench::Cell cell{result.stats.elapsed_seconds, result.stats.patterns_found,
-                   result.stats.truncated};
+  bench::Cell cell = bench::ToCell(result);
   return bench::CellTime(cell) + " (" + bench::CellCount(cell) + " pat.)";
 }
 
@@ -78,7 +77,7 @@ int main() {
   for (const NamedDb& entry : datasets) {
     std::printf("%s\n", FormatStatsReport(entry.name, entry.db).c_str());
     InvertedIndex index(entry.db);
-    bench::Cell ours = bench::RunClosed(index, entry.min_sup, budget);
+    bench::Cell ours = bench::RunClosed(index, entry.min_sup, budget, entry.name);
 
     BideOptions bide_options;
     bide_options.min_support = entry.min_sup;

@@ -1,11 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the core primitives of §III-D:
-// inverted-index construction, next() queries, root instance sets, INSgrow
-// steps, and whole supComp runs as pattern length grows.
+// inverted-index construction, next() queries (binary-search point queries
+// vs the galloping PositionCursor), root instance sets, INSgrow steps
+// (cursor-based scratch-buffer fast path vs the pre-cursor reference), one
+// CloGSgrow closure check (memoized vs seed path), and whole supComp runs
+// as pattern length grows.
+//
+// The INSgrow and closure-check pairs are the measured halves of the
+// ablation acceptance: BM_INSgrow* vs BM_INSgrow*Reference is the
+// INSgrow-throughput claim, BM_ClosureCheckMemoized vs BM_ClosureCheckSeed
+// the per-node closure-check claim (see DESIGN.md §5).
 
 #include <benchmark/benchmark.h>
 
+#include "core/growth_engine.h"
 #include "core/instance_growth.h"
 #include "core/inverted_index.h"
+#include "core/miner_options.h"
 #include "datagen/quest_generator.h"
 
 namespace gsgrow {
@@ -29,9 +39,30 @@ const InvertedIndex& TestIndex() {
   return *index;
 }
 
-// Most frequent events of the corpus, for stable pattern construction.
-std::vector<EventId> TopEvents(size_t k) {
-  const InvertedIndex& index = TestIndex();
+// Dense corpus: small alphabet over long sequences, so per-(sequence,
+// event) position lists are long and support sets carry many instances per
+// sequence run — the regime the cursor's run-resolved galloping targets
+// (and the shape of the closure-heavy ablation config).
+const SequenceDatabase& DenseDb() {
+  static SequenceDatabase* db = [] {
+    QuestParams params;
+    params.num_sequences = 1000;
+    params.avg_sequence_length = 100;
+    params.num_events = 25;
+    params.avg_pattern_length = 8;
+    params.seed = 7;
+    return new SequenceDatabase(GenerateQuest(params));
+  }();
+  return *db;
+}
+
+const InvertedIndex& DenseIndex() {
+  static InvertedIndex* index = new InvertedIndex(DenseDb());
+  return *index;
+}
+
+// Most frequent events of a corpus, for stable pattern construction.
+std::vector<EventId> TopEvents(const InvertedIndex& index, size_t k) {
   std::vector<EventId> events(index.present_events().begin(),
                               index.present_events().end());
   std::sort(events.begin(), events.end(), [&](EventId a, EventId b) {
@@ -54,7 +85,7 @@ BENCHMARK(BM_IndexBuild);
 
 void BM_NextQuery(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
-  EventId e = TopEvents(1)[0];
+  EventId e = TopEvents(index, 1)[0];
   SeqId seq = index.Postings(e)[0].seq;
   Position p = 0;
   for (auto _ : state) {
@@ -66,9 +97,31 @@ void BM_NextQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_NextQuery);
 
+// The same rising-bound query stream answered by one PositionCursor per
+// sweep: the event slot is resolved once and queries gallop forward.
+void BM_NextQueryCursor(benchmark::State& state) {
+  const InvertedIndex& index = TestIndex();
+  EventId e = TopEvents(index, 1)[0];
+  SeqId seq = index.Postings(e)[0].seq;
+  PositionCursor cursor = index.Cursor(seq, e);
+  Position p = 0;
+  for (auto _ : state) {
+    Position next = cursor.NextAtOrAfter(p);
+    if (next == kNoPosition) {
+      cursor = index.Cursor(seq, e);
+      p = 0;
+      next = cursor.NextAtOrAfter(p);
+    }
+    p = next + 1;
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NextQueryCursor);
+
 void BM_RootInstances(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
-  EventId e = TopEvents(1)[0];
+  EventId e = TopEvents(index, 1)[0];
   for (auto _ : state) {
     SupportSet set = RootInstances(index, e);
     benchmark::DoNotOptimize(set.size());
@@ -77,24 +130,98 @@ void BM_RootInstances(benchmark::State& state) {
 }
 BENCHMARK(BM_RootInstances);
 
-void BM_INSgrow(benchmark::State& state) {
-  const InvertedIndex& index = TestIndex();
-  std::vector<EventId> top = TopEvents(2);
+// One INSgrow step through the production hot path: cursor-based queries
+// into a reused scratch buffer (zero steady-state allocations).
+void INSgrowFast(benchmark::State& state, const InvertedIndex& index) {
+  std::vector<EventId> top = TopEvents(index, 2);
   SupportSet base = RootInstances(index, top[0]);
+  SupportSet scratch;
+  uint64_t queries = 0;
   for (auto _ : state) {
-    SupportSet grown = GrowSupportSet(index, base, top[1]);
-    benchmark::DoNotOptimize(grown.size());
+    GrowSupportSetInto(index, base, top[1], scratch, &queries);
+    benchmark::DoNotOptimize(scratch.size());
   }
   // Items = instances scanned per growth.
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(base.size()));
 }
+
+// The pre-cursor INSgrow: a full binary search per next() query, fresh
+// allocation per growth — the seed baseline the fast path is measured
+// against.
+void INSgrowReference(benchmark::State& state, const InvertedIndex& index) {
+  std::vector<EventId> top = TopEvents(index, 2);
+  SupportSet base = RootInstances(index, top[0]);
+  for (auto _ : state) {
+    SupportSet grown = GrowSupportSetReference(index, base, top[1]);
+    benchmark::DoNotOptimize(grown.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(base.size()));
+}
+
+void BM_INSgrow(benchmark::State& state) { INSgrowFast(state, TestIndex()); }
 BENCHMARK(BM_INSgrow);
+
+void BM_INSgrowReference(benchmark::State& state) {
+  INSgrowReference(state, TestIndex());
+}
+BENCHMARK(BM_INSgrowReference);
+
+void BM_INSgrowDense(benchmark::State& state) {
+  INSgrowFast(state, DenseIndex());
+}
+BENCHMARK(BM_INSgrowDense);
+
+void BM_INSgrowDenseReference(benchmark::State& state) {
+  INSgrowReference(state, DenseIndex());
+}
+BENCHMARK(BM_INSgrowDenseReference);
+
+// One full CloGSgrow closure check (CCheck + LBCheck scan) on a
+// representative node of the dense corpus.
+void ClosureCheck(benchmark::State& state, bool memoized) {
+  const InvertedIndex& index = DenseIndex();
+  std::vector<EventId> top = TopEvents(index, 3);
+  const std::vector<EventId> pattern = {top[0], top[1], top[2], top[0]};
+  std::vector<SupportSet> prefix_sets;
+  std::vector<uint64_t> supports;
+  for (size_t j = 1; j <= pattern.size(); ++j) {
+    Pattern prefix(std::vector<EventId>(pattern.begin(), pattern.begin() + j));
+    SupportSet set = ComputeSupportSet(index, prefix);
+    supports.push_back(set.size());
+    prefix_sets.push_back(std::move(set));
+  }
+  if (supports.back() == 0) {
+    state.SkipWithError("pattern has no instances; pick denser events");
+    return;
+  }
+  MinerOptions options;
+  options.use_memoized_closure = memoized;
+  ClosurePruning pruning(index, options);
+  MiningStats stats;
+  const GrowthNode node{pattern, prefix_sets, supports, stats};
+  for (auto _ : state) {
+    EmitDecision decision = pruning.Decide(node, false);
+    benchmark::DoNotOptimize(decision.emit);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ClosureCheckMemoized(benchmark::State& state) {
+  ClosureCheck(state, true);
+}
+BENCHMARK(BM_ClosureCheckMemoized);
+
+void BM_ClosureCheckSeed(benchmark::State& state) {
+  ClosureCheck(state, false);
+}
+BENCHMARK(BM_ClosureCheckSeed);
 
 void BM_SupComp(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
   const size_t len = static_cast<size_t>(state.range(0));
-  std::vector<EventId> top = TopEvents(4);
+  std::vector<EventId> top = TopEvents(index, 4);
   std::vector<EventId> events;
   for (size_t i = 0; i < len; ++i) events.push_back(top[i % top.size()]);
   Pattern pattern(events);
@@ -108,7 +235,7 @@ BENCHMARK(BM_SupComp)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
 void BM_FullSupportSet(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
-  std::vector<EventId> top = TopEvents(3);
+  std::vector<EventId> top = TopEvents(index, 3);
   Pattern pattern({top[0], top[1], top[2]});
   for (auto _ : state) {
     auto set = ComputeFullSupportSet(index, pattern);

@@ -39,8 +39,8 @@ int main() {
   TextTable table({"min_sup", "All time", "All patterns", "Closed time",
                    "Closed patterns"});
   for (uint64_t min_sup : std::vector<uint64_t>{3, 7, 8, 9, 10}) {
-    bench::Cell all = bench::RunAll(index, min_sup, budget);
-    bench::Cell closed = bench::RunClosed(index, min_sup, budget);
+    bench::Cell all = bench::RunAll(index, min_sup, budget, "fig2-synthetic");
+    bench::Cell closed = bench::RunClosed(index, min_sup, budget, "fig2-synthetic");
     table.AddRow({std::to_string(min_sup), bench::CellTime(all),
                   bench::CellCount(all), bench::CellTime(closed),
                   bench::CellCount(closed)});

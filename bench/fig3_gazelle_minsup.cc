@@ -36,8 +36,8 @@ int main() {
   TextTable table({"min_sup", "All time", "All patterns", "Closed time",
                    "Closed patterns"});
   for (uint64_t min_sup : std::vector<uint64_t>{8, 63, 64, 65, 66}) {
-    bench::Cell all = bench::RunAll(index, min_sup, budget);
-    bench::Cell closed = bench::RunClosed(index, min_sup, budget);
+    bench::Cell all = bench::RunAll(index, min_sup, budget, "fig3-gazelle");
+    bench::Cell closed = bench::RunClosed(index, min_sup, budget, "fig3-gazelle");
     table.AddRow({std::to_string(min_sup), bench::CellTime(all),
                   bench::CellCount(all), bench::CellTime(closed),
                   bench::CellCount(closed)});

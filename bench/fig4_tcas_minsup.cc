@@ -35,8 +35,8 @@ int main() {
        std::vector<uint64_t>{1, 886, 887, 888, 889}) {
     const uint64_t min_sup =
         paper_min_sup == 1 ? 1 : bench::ScaledMinSup(paper_min_sup, scale);
-    bench::Cell all = bench::RunAll(index, min_sup, budget);
-    bench::Cell closed = bench::RunClosed(index, min_sup, budget);
+    bench::Cell all = bench::RunAll(index, min_sup, budget, "fig4-tcas");
+    bench::Cell closed = bench::RunClosed(index, min_sup, budget, "fig4-tcas");
     table.AddRow({std::to_string(paper_min_sup), std::to_string(min_sup),
                   bench::CellTime(all), bench::CellCount(all),
                   bench::CellTime(closed), bench::CellCount(closed)});

@@ -36,8 +36,8 @@ int main() {
     SequenceDatabase db = GenerateQuest(params);
     InvertedIndex index(db);
     const uint64_t min_sup = 20;  // absolute, as in the paper (scale-invariant)
-    bench::Cell all = bench::RunAll(index, min_sup, budget);
-    bench::Cell closed = bench::RunClosed(index, min_sup, budget);
+    bench::Cell all = bench::RunAll(index, min_sup, budget, params.Name());
+    bench::Cell closed = bench::RunClosed(index, min_sup, budget, params.Name());
     table.AddRow({std::to_string(avg_len),
                   std::to_string(params.num_sequences),
                   std::to_string(min_sup), bench::CellTime(all),

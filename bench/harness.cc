@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "core/clogsgrow.h"
 #include "core/gsgrow.h"
@@ -28,43 +31,99 @@ uint64_t ScaledMinSup(uint64_t paper_value, double scale) {
              std::llround(static_cast<double>(paper_value) * scale)));
 }
 
+Cell ToCell(const MiningResult& result) {
+  return Cell{result.stats};
+}
+
 namespace {
 
-Cell ToCell(const MiningResult& result) {
-  Cell cell;
-  cell.seconds = result.stats.elapsed_seconds;
-  cell.patterns = result.stats.patterns_found;
-  cell.truncated = result.stats.truncated;
-  return cell;
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace
 
-Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget) {
+Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget,
+            const std::string& label) {
   MinerOptions options;
   options.min_support = min_sup;
   options.time_budget_seconds = budget;
   options.collect_patterns = false;
-  return ToCell(MineAllFrequent(index, options));
+  Cell cell = ToCell(MineAllFrequent(index, options));
+  AppendBenchJson(CellJson("gsgrow", label,
+                           "min_sup=" + std::to_string(min_sup), cell));
+  return cell;
 }
 
-Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget) {
+Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget,
+               const std::string& label) {
   MinerOptions options;
   options.min_support = min_sup;
   options.time_budget_seconds = budget;
   options.collect_patterns = false;
-  return ToCell(MineClosedFrequent(index, options));
+  Cell cell = ToCell(MineClosedFrequent(index, options));
+  AppendBenchJson(CellJson("clogsgrow", label,
+                           "min_sup=" + std::to_string(min_sup), cell));
+  return cell;
+}
+
+std::string CellJson(const std::string& bench, const std::string& dataset,
+                     const std::string& config, const Cell& cell) {
+  const MiningStats& s = cell.stats;
+  std::ostringstream out;
+  out << "{\"bench\":\"" << JsonEscape(bench) << "\""
+      << ",\"dataset\":\"" << JsonEscape(dataset) << "\""
+      << ",\"config\":\"" << JsonEscape(config) << "\""
+      << ",\"seconds\":" << cell.seconds()
+      << ",\"patterns\":" << cell.patterns()
+      << ",\"truncated\":" << (cell.truncated() ? "true" : "false")
+      << ",\"nodes_visited\":" << s.nodes_visited
+      << ",\"insgrow_calls\":" << s.insgrow_calls
+      << ",\"next_queries\":" << s.next_queries
+      << ",\"closure_checks\":" << s.closure_checks
+      << ",\"closure_regrow_events\":" << s.closure_regrow_events
+      << ",\"lb_pruned_subtrees\":" << s.lb_pruned_subtrees
+      << ",\"nonclosed_suppressed\":" << s.nonclosed_suppressed
+      << ",\"max_depth\":" << s.max_depth << "}";
+  return out.str();
+}
+
+void AppendBenchJson(const std::string& json_object) {
+  const char* path = std::getenv("GSGROW_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::ofstream out(path, std::ios::app);
+  if (out) out << json_object << "\n";
+}
+
+void WriteJsonArray(const std::string& path,
+                    const std::vector<std::string>& json_objects) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "[\n";
+  for (size_t i = 0; i < json_objects.size(); ++i) {
+    out << "  " << json_objects[i] << (i + 1 < json_objects.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
 }
 
 std::string CellTime(const Cell& cell) {
-  std::string s = FormatSeconds(cell.seconds);
-  if (cell.truncated) s += "*";
+  std::string s = FormatSeconds(cell.seconds());
+  if (cell.truncated()) s += "*";
   return s;
 }
 
 std::string CellCount(const Cell& cell) {
-  std::string s = WithThousandsSeparators(cell.patterns);
-  if (cell.truncated) s = ">=" + s + "*";
+  std::string s = WithThousandsSeparators(cell.patterns());
+  if (cell.truncated()) s = ">=" + s + "*";
   return s;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/inverted_index.h"
 #include "core/miner_options.h"
@@ -30,24 +31,51 @@ double BudgetSeconds();
 /// A paper support threshold scaled with the dataset (floor 1).
 uint64_t ScaledMinSup(uint64_t paper_value, double scale);
 
-/// Outcome of one mining run.
+/// Outcome of one mining run: the full MiningStats, so harnesses can
+/// surface pruning effects (next queries, closure checks, regrow events)
+/// instead of inferring them from wall-clock alone. Accessors cover the
+/// three values every table needs.
 struct Cell {
-  double seconds = 0.0;
-  uint64_t patterns = 0;
-  bool truncated = false;
+  MiningStats stats;
+
+  double seconds() const { return stats.elapsed_seconds; }
+  uint64_t patterns() const { return stats.patterns_found; }
+  bool truncated() const { return stats.truncated; }
 };
 
-/// Runs GSgrow (mining all) without materializing patterns.
-Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget);
+/// Cell from a finished mining run.
+Cell ToCell(const MiningResult& result);
+
+/// Runs GSgrow (mining all) without materializing patterns. `label` names
+/// the configuration in the JSON record (see AppendBenchJson).
+Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget,
+            const std::string& label = "");
 
 /// Runs CloGSgrow (mining closed) without materializing patterns.
-Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget);
+Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget,
+               const std::string& label = "");
 
 /// "1.23 s" or "(>) 5.00 s*" when the run was cut off.
 std::string CellTime(const Cell& cell);
 
 /// "12,345" or ">=12,345*" when the run was cut off.
 std::string CellCount(const Cell& cell);
+
+/// One machine-readable JSON object for a bench result: seconds, patterns,
+/// truncated, and every MiningStats counter, tagged with the given
+/// bench/dataset/config labels.
+std::string CellJson(const std::string& bench, const std::string& dataset,
+                     const std::string& config, const Cell& cell);
+
+/// Appends `json_object` as one line to the file named by the
+/// GSGROW_BENCH_JSON environment variable (no-op when unset). This is how
+/// ad-hoc bench runs leave a perf trajectory behind without changing their
+/// human-readable output.
+void AppendBenchJson(const std::string& json_object);
+
+/// Writes `json_objects` as a JSON array to `path` (overwrites).
+void WriteJsonArray(const std::string& path,
+                    const std::vector<std::string>& json_objects);
 
 /// Prints the standard harness preamble (title, paper expectation, scale).
 void PrintPreamble(const std::string& title, const std::string& expectation);

@@ -46,13 +46,12 @@ GrownChild UnconstrainedExtension::Root(EventId e) const {
   return RootChild(*index_, e);
 }
 
-GrownChild UnconstrainedExtension::Extend(const GrowthNode& node,
-                                          EventId e) const {
-  GrownChild child;
-  child.set = GrowSupportSet(*index_, node.prefix_sets.back(), e);
+void UnconstrainedExtension::ExtendInto(const GrowthNode& node, EventId e,
+                                        GrownChild& out) {
+  GrowSupportSetInto(*index_, node.prefix_sets.back(), e, out.set,
+                     &node.stats.next_queries);
   node.stats.insgrow_calls++;
-  child.support = child.set.size();
-  return child;
+  out.support = out.set.size();
 }
 
 // ---------------------------------------------------------------------------
@@ -68,27 +67,29 @@ GrownChild BoundedGapExtension::Root(EventId e) const {
   return RootChild(*index_, e);
 }
 
-GrownChild BoundedGapExtension::Extend(const GrowthNode& node,
-                                       EventId e) const {
-  GrownChild child;
+void BoundedGapExtension::ExtendInto(const GrowthNode& node, EventId e,
+                                     GrownChild& out) {
   // Unconstrained INSgrow state: |set| = sup(P ◦ e) >= sup_gc(P ◦ e), since
   // dropping the constraint only adds instances. A child that is infrequent
   // even unconstrained needs no flow computation — report the (under-
   // min_support) upper bound and let the engine prune it.
-  child.set = GrowSupportSet(*index_, node.prefix_sets.back(), e);
+  GrowSupportSetInto(*index_, node.prefix_sets.back(), e, out.set,
+                     &node.stats.next_queries);
   node.stats.insgrow_calls++;
-  const uint64_t upper_bound = child.set.size();
+  const uint64_t upper_bound = out.set.size();
   if (upper_bound < min_support_) {
-    child.support = upper_bound;
-    return child;
+    out.support = upper_bound;
+    return;
   }
   // Exact support via the layered max-flow oracle (greedy bounded-gap
   // growth is not maximum under constraints, so only the flow value can be
-  // reported for frequent patterns).
-  std::vector<EventId> events = node.pattern;
-  events.push_back(e);
-  child.support = ReferenceSupport(*db_, Pattern(std::move(events)), *gap_);
-  return child;
+  // reported for frequent patterns). The candidate pattern round-trips
+  // through the scratch vector so no copy is allocated per call.
+  events_scratch_.assign(node.pattern.begin(), node.pattern.end());
+  events_scratch_.push_back(e);
+  Pattern candidate(std::move(events_scratch_));
+  out.support = ReferenceSupport(*db_, candidate, *gap_);
+  events_scratch_ = std::move(candidate).TakeEvents();
 }
 
 // ---------------------------------------------------------------------------
@@ -102,7 +103,10 @@ EmitDecision ClosurePruning::Decide(const GrowthNode& node,
   // stop once the pattern is known to be non-closed.
   bool prune = false;
   if (!non_closed || options_->use_landmark_border_pruning) {
-    prune = CheckInsertExtensions(node, &non_closed);
+    node.stats.closure_checks++;
+    prune = options_->use_memoized_closure
+                ? CheckInsertExtensions(node, &non_closed)
+                : CheckInsertExtensionsSeed(node, &non_closed);
   }
   if (prune) {
     // Theorem 5: no closed pattern has node.pattern as a prefix.
@@ -122,9 +126,220 @@ EmitDecision ClosurePruning::Decide(const GrowthNode& node,
 // contribute nothing to any extension's support or to its leftmost support
 // set. Restricting the (potentially huge) low-prefix support sets to those
 // sequences makes closure checking cheap for patterns concentrated in few
-// sequences.
+// sequences. That argument is a property of the *node*, not of any
+// particular (gap, candidate) pair, which is what makes the restricted
+// sets cacheable: every scan of the node's closure check filters by the
+// same relevant-sequence list (DESIGN.md §5).
+//
+// This is the memoized hot path: per-node tables are built once
+// (BuildNodeTables), restricted prefixes are materialized lazily into a
+// persistent arena, and all growth runs cursor-based INSgrow through two
+// reused buffers with the per-sequence-count early exit fused into every
+// step (GrowCoveringInto). Steady state allocates nothing.
 bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
                                            bool* non_closed) {
+  const InvertedIndex& index = *index_;
+  MiningStats& stats = node.stats;
+  const std::vector<EventId>& pattern = node.pattern;
+  const SupportSet& support_set = node.prefix_sets.back();
+  const uint64_t support = support_set.size();
+  const size_t m = pattern.size();
+
+  BuildNodeTables(node);
+  if (candidates_.empty()) return false;
+
+  for (size_t gap = 0; gap < m; ++gap) {
+    const SupportSet* base = nullptr;
+    if (gap > 0) {
+      base = &RestrictedPrefix(node, gap - 1);
+      // Growth never enlarges a set, so a restricted prefix already below
+      // the target support dooms every candidate at this gap.
+      if (base->size() < support) continue;
+    }
+    for (EventId e : candidates_) {
+      // Inserting an event equal to the one right after the gap yields
+      // the same extension pattern as inserting it one gap to the right
+      // (ultimately an append, covered by the DFS children) — skip the
+      // duplicate here. Sound because the extension pattern, and hence
+      // its leftmost support set, is identical.
+      if (e == pattern[gap]) continue;
+      // Base: leftmost support set of e_1..e_gap ◦ e (restricted), with the
+      // per-sequence coverage condition enforced as it is built — any
+      // relevant sequence that cannot keep its n_i instances dooms the
+      // candidate before a single regrow step is paid for.
+      SupportSet* current = &grow_front_;
+      bool alive = true;
+      if (gap == 0) {
+        current->clear();
+        for (const auto& [seq, need] : seq_counts_) {
+          const std::span<const Position> positions = index.Positions(seq, e);
+          if (positions.size() < need) {
+            alive = false;  // coverage already broken (filter disabled)
+            break;
+          }
+          for (Position p : positions) {
+            current->push_back(Instance{seq, p, p});
+          }
+        }
+      } else {
+        stats.insgrow_calls++;
+        stats.closure_regrow_events++;
+        alive = GrowCoveringInto(*base, e, *current, &stats.next_queries);
+      }
+      if (!alive) continue;
+      // Regrow the remaining events of the pattern (double-buffered); each
+      // step aborts at the first sequence run that loses an instance.
+      SupportSet* next = &grow_back_;
+      for (size_t k = gap; k < m; ++k) {
+        stats.insgrow_calls++;
+        stats.closure_regrow_events++;
+        if (!GrowCoveringInto(*current, pattern[k], *next,
+                              &stats.next_queries)) {
+          alive = false;
+          break;
+        }
+        std::swap(current, next);
+      }
+      if (!alive) continue;
+      // Coverage of every n_i means |P'| >= sup(P); sup(P') <= sup(P) by
+      // the Apriori property, so equality holds here.
+      GSGROW_DCHECK(current->size() == support);
+      *non_closed = true;
+      if (!options_->use_landmark_border_pruning) return false;
+      if (BorderDoesNotShiftRight(*current, support_set)) return true;
+    }
+  }
+  return false;
+}
+
+void ClosurePruning::BuildNodeTables(const GrowthNode& node) {
+  const InvertedIndex& index = *index_;
+  const SupportSet& support_set = node.prefix_sets.back();
+  const uint64_t support = support_set.size();
+  // (sequence, n_i) pairs and the relevant-sequence list in one pass
+  // (support_set is sorted by sequence).
+  seq_counts_.clear();
+  relevant_.clear();
+  for (const Instance& inst : support_set) {
+    if (!seq_counts_.empty() && seq_counts_.back().first == inst.seq) {
+      seq_counts_.back().second++;
+    } else {
+      seq_counts_.emplace_back(inst.seq, 1u);
+      relevant_.push_back(inst.seq);
+    }
+  }
+  restricted_built_ = 0;
+  // Candidate events, shared by every (gap, candidate) scan of this node.
+  candidates_.clear();
+  if (!options_->use_insert_candidate_filter) {
+    for (EventId e : index.present_events()) {
+      if (index.TotalCount(e) >= support) candidates_.push_back(e);
+    }
+    return;
+  }
+  // Enumerate events of the first relevant sequence and verify the
+  // per-sequence-count condition (DESIGN.md §1) against the rest.
+  const auto& [first_seq, first_need] = seq_counts_.front();
+  for (EventId e : index.EventsInSequence(first_seq)) {
+    if (index.Count(first_seq, e) < first_need) continue;
+    bool ok = true;
+    for (size_t i = 1; i < seq_counts_.size(); ++i) {
+      if (index.Count(seq_counts_[i].first, e) < seq_counts_[i].second) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) candidates_.push_back(e);
+  }
+}
+
+const SupportSet& ClosurePruning::RestrictedPrefix(const GrowthNode& node,
+                                                   size_t j) {
+  if (restricted_.size() <= j) restricted_.resize(j + 1);
+  while (restricted_built_ <= j) {
+    const size_t b = restricted_built_;
+    const SupportSet& full = node.prefix_sets[b];
+    SupportSet& out = restricted_[b];
+    out.clear();
+    // Exact sizing: count the surviving instances with a merge against the
+    // relevant-sequence list before copying (both sides are seq-sorted).
+    // In steady state the arena buffer already has the capacity and the
+    // reserve is a no-op.
+    size_t kept = 0;
+    {
+      auto r = relevant_.begin();
+      for (const Instance& inst : full) {
+        while (r != relevant_.end() && *r < inst.seq) ++r;
+        if (r == relevant_.end()) break;
+        if (*r == inst.seq) ++kept;
+      }
+    }
+    if (out.capacity() < kept) out.reserve(kept);
+    auto r = relevant_.begin();
+    for (const Instance& inst : full) {
+      while (r != relevant_.end() && *r < inst.seq) ++r;
+      if (r == relevant_.end()) break;
+      if (*r == inst.seq) out.push_back(inst);
+    }
+    restricted_built_ = b + 1;
+  }
+  return restricted_[j];
+}
+
+bool ClosurePruning::GrowCoveringInto(const SupportSet& in, EventId e,
+                                      SupportSet& out,
+                                      uint64_t* next_queries) {
+  const InvertedIndex& index = *index_;
+  out.clear();
+  if (out.capacity() < in.size()) out.reserve(in.size());
+  uint64_t queries = 0;
+  const size_t n = in.size();
+  size_t k = 0;
+  // `in` only holds relevant sequences (it descends from a restricted
+  // prefix set), so its runs align with seq_counts_; a mismatch means a
+  // relevant sequence got zero instances.
+  auto need = seq_counts_.begin();
+  bool covered = true;
+  while (k < n) {
+    const SeqId seq = in[k].seq;
+    if (need == seq_counts_.end() || need->first != seq) {
+      covered = false;
+      break;
+    }
+    uint32_t grown = 0;
+    PositionCursor cursor = index.Cursor(seq, e);
+    if (!cursor.empty()) {
+      Position floor = 0;
+      for (; k < n && in[k].seq == seq; ++k) {
+        const Instance& inst = in[k];
+        const Position from = std::max(floor, inst.last + 1);
+        const Position lj = cursor.NextAtOrAfter(from);
+        ++queries;
+        if (lj == kNoPosition) break;
+        floor = lj + 1;
+        out.push_back(Instance{seq, inst.first, lj});
+        ++grown;
+      }
+    }
+    if (grown < need->second) {
+      covered = false;
+      break;
+    }
+    while (k < n && in[k].seq == seq) ++k;  // skip the run's ungrown tail
+    ++need;
+  }
+  if (covered && need != seq_counts_.end()) covered = false;
+  if (next_queries != nullptr) *next_queries += queries;
+  return covered;
+}
+
+// The seed implementation, kept verbatim as the ablation baseline measured
+// by bench/ablation_pruning: eager restricted prefix sets rebuilt per node
+// with binary-search membership tests, and an allocating binary-search
+// INSgrow (GrowSupportSetReference) per regrow step. Decisions are
+// identical to the memoized path (pinned by engine_parity_test).
+bool ClosurePruning::CheckInsertExtensionsSeed(const GrowthNode& node,
+                                               bool* non_closed) {
   const InvertedIndex& index = *index_;
   MiningStats& stats = node.stats;
   const std::vector<EventId>& pattern = node.pattern;
@@ -156,11 +371,6 @@ bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
 
   for (size_t gap = 0; gap < m; ++gap) {
     for (EventId e : insert_candidates) {
-      // Inserting an event equal to the one right after the gap yields
-      // the same extension pattern as inserting it one gap to the right
-      // (ultimately an append, covered by the DFS children) — skip the
-      // duplicate here. Sound because the extension pattern, and hence
-      // its leftmost support set, is identical.
       if (e == pattern[gap]) continue;
       // Base: leftmost support set of e_1..e_gap ◦ e (restricted).
       SupportSet current;
@@ -171,15 +381,17 @@ bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
           }
         }
       } else {
-        current = GrowSupportSet(index, restricted[gap - 1], e);
+        current = GrowSupportSetReference(index, restricted[gap - 1], e);
         stats.insgrow_calls++;
+        stats.closure_regrow_events++;
       }
       if (current.size() < support) continue;  // Apriori early exit.
       // Regrow the remaining events of the pattern.
       bool alive = true;
       for (size_t k = gap; k < m; ++k) {
-        current = GrowSupportSet(index, current, pattern[k]);
+        current = GrowSupportSetReference(index, current, pattern[k]);
         stats.insgrow_calls++;
+        stats.closure_regrow_events++;
         if (current.size() < support) {
           alive = false;
           break;

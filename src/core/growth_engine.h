@@ -34,6 +34,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -90,8 +91,17 @@ class UnconstrainedExtension {
   /// Leftmost support set of the size-1 pattern <e>.
   GrownChild Root(EventId e) const;
 
-  /// Leftmost support set of pattern ◦ e from the node's state (INSgrow).
-  GrownChild Extend(const GrowthNode& node, EventId e) const;
+  /// Leftmost support set of pattern ◦ e written into `out`'s recycled
+  /// buffer (cursor-based INSgrow; allocation-free once the engine's set
+  /// pool is warm).
+  void ExtendInto(const GrowthNode& node, EventId e, GrownChild& out);
+
+  /// Allocating thin wrapper over ExtendInto.
+  GrownChild Extend(const GrowthNode& node, EventId e) {
+    GrownChild child;
+    ExtendInto(node, e, child);
+    return child;
+  }
 
   const InvertedIndex& index() const { return *index_; }
 
@@ -129,13 +139,22 @@ class BoundedGapExtension {
   /// exact under any constraint.
   GrownChild Root(EventId e) const;
 
-  GrownChild Extend(const GrowthNode& node, EventId e) const;
+  void ExtendInto(const GrowthNode& node, EventId e, GrownChild& out);
+
+  GrownChild Extend(const GrowthNode& node, EventId e) {
+    GrownChild child;
+    ExtendInto(node, e, child);
+    return child;
+  }
 
  private:
   const SequenceDatabase* db_;
   const InvertedIndex* index_;
   const LandmarkGapConstraint* gap_;
   uint64_t min_support_;
+  // Scratch for the candidate pattern handed to the flow oracle, round-
+  // tripped through Pattern::TakeEvents so no per-call copy is allocated.
+  std::vector<EventId> events_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -170,6 +189,19 @@ class NoPruning {
 /// prefix e_1..e_j kept on the engine's stack, grow it with the candidate
 /// event, then regrow e_{j+1}..e_m with Apriori early exit. Candidates are
 /// pre-filtered by the sound per-sequence-count condition (DESIGN.md §1).
+///
+/// The default hot path (use_memoized_closure) is allocation-free in steady
+/// state (DESIGN.md §5): the per-node tables — per-sequence counts,
+/// relevant-sequence list, candidate events — are built once per node and
+/// shared across every (gap, candidate) pair; the sequence-restricted
+/// prefix sets are built lazily (only for gaps actually reached, never for
+/// the last prefix) into an arena whose buffers persist across nodes; and
+/// the regrow chain runs cursor-based INSgrow through two scratch buffers
+/// with the per-sequence-count early exit fused into every step — a doomed
+/// candidate aborts at its first under-covered sequence run instead of
+/// regrowing the rest of the pattern.
+/// The pre-memoization path is kept verbatim (CheckInsertExtensionsSeed)
+/// as the ablation baseline; both paths make identical decisions.
 class ClosurePruning {
  public:
   static constexpr bool kNeedsChildren = true;
@@ -180,15 +212,53 @@ class ClosurePruning {
   EmitDecision Decide(const GrowthNode& node, bool equal_support_append);
 
  private:
+  // Memoized hot path.
   bool CheckInsertExtensions(const GrowthNode& node, bool* non_closed);
+  // The seed implementation: eager restricted sets, allocating
+  // binary-search INSgrow per regrow step. Ablation baseline
+  // (use_memoized_closure = false).
+  bool CheckInsertExtensionsSeed(const GrowthNode& node, bool* non_closed);
   static bool BorderDoesNotShiftRight(const SupportSet& extended,
                                       const SupportSet& original);
+  // Seed-path candidate enumeration (allocates its result per node).
   std::vector<EventId> InsertCandidates(const SupportSet& support_set);
+
+  // Fills seq_counts_, relevant_, and candidates_ for the current node and
+  // invalidates the restricted-prefix cache.
+  void BuildNodeTables(const GrowthNode& node);
+  // prefix_sets[j] filtered to the relevant sequences, built lazily and
+  // cached for the current node in the restricted_ arena.
+  const SupportSet& RestrictedPrefix(const GrowthNode& node, size_t j);
+  // Cursor-based INSgrow of `in` with `e` into `out`, fused with the
+  // per-sequence-count early exit: returns false — aborting the scan with
+  // `out` left partial — as soon as some relevant sequence cannot keep its
+  // n_i instances (seq_counts_). An equal-support extension must preserve
+  // every per-sequence support and per-sequence counts only shrink under
+  // further growth, so a doomed candidate dies after one sequence run
+  // instead of finishing up to m full regrow scans. When it returns true,
+  // `out` is the complete grown set and covers every n_i.
+  bool GrowCoveringInto(const SupportSet& in, EventId e, SupportSet& out,
+                        uint64_t* next_queries);
 
   const InvertedIndex* index_;
   const MinerOptions* options_;
-  // Scratch (sequence, n_i) pairs reused across nodes.
+  // --- Per-node memo tables (rebuilt by BuildNodeTables, then shared
+  // across all gaps and candidates of the node's closure check). Buffers
+  // persist across nodes, so steady-state checks allocate nothing. ---
+  // (sequence, n_i) pairs: per-sequence supports of the current pattern.
   std::vector<std::pair<SeqId, uint32_t>> seq_counts_;
+  // Sequences with n_i > 0, ascending.
+  std::vector<SeqId> relevant_;
+  // Insert/prepend candidate events surviving the per-sequence-count
+  // filter.
+  std::vector<EventId> candidates_;
+  // restricted_[j] caches prefix_sets[j] filtered to relevant_, valid for
+  // j < restricted_built_.
+  std::vector<SupportSet> restricted_;
+  size_t restricted_built_ = 0;
+  // Double buffers for the base-growth + regrow chain.
+  SupportSet grow_front_;
+  SupportSet grow_back_;
 };
 
 // ---------------------------------------------------------------------------
@@ -283,6 +353,15 @@ class GrowthEngine {
   }
 
  private:
+  // Per-depth scratch for the append-extension loop. Pooled so revisiting a
+  // depth reuses both the pair/candidate vectors and (via the engine's set
+  // pool) the SupportSet buffers inside them — the steady-state DFS
+  // performs no allocations.
+  struct DepthScratch {
+    std::vector<std::pair<EventId, GrownChild>> children;
+    std::vector<EventId> child_candidates;
+  };
+
   // Pre: pattern_/prefix_sets_/supports_ describe a frequent pattern.
   void Dfs(const std::vector<EventId>& candidates) {
     MiningStats& stats = result_.stats;
@@ -302,19 +381,34 @@ class GrowthEngine {
     // policy's support measure has the full Apriori property. The closure
     // policy needs the equal-support-append bit (CCheck case 1) even when
     // the depth cap forbids recursing, hence kNeedsChildren.
-    std::vector<std::pair<EventId, GrownChild>> children;
-    std::vector<EventId> child_candidates;
+    const size_t depth = pattern_.size();
+    if (depth_scratch_.size() <= depth) depth_scratch_.resize(depth + 1);
+    // A deque keeps `scratch` stable across the resize a deeper recursion
+    // may trigger.
+    DepthScratch& scratch = depth_scratch_[depth];
+    for (auto& [e, child] : scratch.children) {
+      // Children that were recursed into had their buffer moved onto the
+      // prefix stack (and recycled at Pop); releasing their capacity-less
+      // husks too would grow the pool by one dead entry per node.
+      if (child.set.capacity() > 0) ReleaseSet(std::move(child.set));
+    }
+    scratch.children.clear();
+    scratch.child_candidates.clear();
     bool equal_support_append = false;
     const bool want_children = PruningPolicy::kNeedsChildren ||
                                pattern_.size() < options_.max_pattern_length;
     if (want_children) {
       const uint64_t floor = EffectiveMinSupport();
+      GrownChild child;
       for (EventId e : candidates) {
-        GrownChild child = extension_.Extend(node, e);
+        child.set = AcquireSet();
+        extension_.ExtendInto(node, e, child);
         if (child.support == support) equal_support_append = true;
         if (child.support >= floor) {
-          child_candidates.push_back(e);
-          children.emplace_back(e, std::move(child));
+          scratch.child_candidates.push_back(e);
+          scratch.children.emplace_back(e, std::move(child));
+        } else {
+          ReleaseSet(std::move(child.set));
         }
       }
     }
@@ -338,9 +432,9 @@ class GrowthEngine {
     if (pattern_.size() >= options_.max_pattern_length) return;
     const std::vector<EventId>& next_candidates =
         (options_.use_candidate_list && ExtensionPolicy::kSupportsCandidateList)
-            ? child_candidates
+            ? scratch.child_candidates
             : candidates;
-    for (auto& [e, child] : children) {
+    for (auto& [e, child] : scratch.children) {
       if (stopped_) return;
       // The sink floor may have risen since the child was grown.
       if (child.support < EffectiveMinSupport()) continue;
@@ -362,8 +456,23 @@ class GrowthEngine {
 
   void Pop() {
     pattern_.pop_back();
+    ReleaseSet(std::move(prefix_sets_.back()));
     prefix_sets_.pop_back();
     supports_.pop_back();
+  }
+
+  /// Hands out a cleared SupportSet buffer from the pool (empty on a cold
+  /// pool; capacity grows organically and then circulates).
+  SupportSet AcquireSet() {
+    if (set_pool_.empty()) return {};
+    SupportSet set = std::move(set_pool_.back());
+    set_pool_.pop_back();
+    return set;
+  }
+
+  void ReleaseSet(SupportSet&& set) {
+    set.clear();
+    set_pool_.push_back(std::move(set));
   }
 
   void Stop(const char* reason) {
@@ -382,6 +491,9 @@ class GrowthEngine {
   // prefix_sets_[k] / supports_[k]: state and support of pattern_[0..k].
   std::vector<SupportSet> prefix_sets_;
   std::vector<uint64_t> supports_;
+  // Scratch pools (see DepthScratch / AcquireSet).
+  std::deque<DepthScratch> depth_scratch_;
+  std::vector<SupportSet> set_pool_;
   bool stopped_ = false;
 };
 

@@ -20,6 +20,54 @@ SupportSet RootInstances(const InvertedIndex& index, EventId e) {
 
 SupportSet GrowSupportSet(const InvertedIndex& index,
                           const SupportSet& support_set, EventId e) {
+  SupportSet out;
+  GrowSupportSetInto(index, support_set, e, out);
+  return out;
+}
+
+void GrowSupportSetInto(const InvertedIndex& index,
+                        const SupportSet& support_set, EventId e,
+                        SupportSet& out, uint64_t* next_queries) {
+  GSGROW_DCHECK(IsRightShiftSorted(support_set));
+  GSGROW_DCHECK(&out != &support_set);
+  out.clear();
+  const size_t n = support_set.size();
+  if (out.capacity() < n) out.reserve(n);
+  uint64_t queries = 0;
+  size_t k = 0;
+  while (k < n) {
+    const SeqId seq = support_set[k].seq;
+    // One slot resolution for the whole run of this sequence's instances;
+    // within the run the query bounds are non-decreasing (rising floor,
+    // rising last landmarks), which is exactly the cursor's contract.
+    PositionCursor cursor = index.Cursor(seq, e);
+    if (cursor.empty()) {
+      while (k < n && support_set[k].seq == seq) ++k;
+      continue;
+    }
+    // last_position of Algorithm 2 folded into a ">= floor" bound.
+    Position floor = 0;
+    for (; k < n && support_set[k].seq == seq; ++k) {
+      const Instance& inst = support_set[k];
+      const Position from = std::max(floor, inst.last + 1);
+      const Position lj = cursor.NextAtOrAfter(from);
+      ++queries;
+      if (lj == kNoPosition) {
+        // Algorithm 2 line 5: no occurrence left for this instance; later
+        // instances of this sequence have even larger lower bounds, so stop
+        // scanning the sequence (skip to its end).
+        while (k < n && support_set[k].seq == seq) ++k;
+        break;
+      }
+      floor = lj + 1;
+      out.push_back(Instance{seq, inst.first, lj});
+    }
+  }
+  if (next_queries != nullptr) *next_queries += queries;
+}
+
+SupportSet GrowSupportSetReference(const InvertedIndex& index,
+                                   const SupportSet& support_set, EventId e) {
   GSGROW_DCHECK(IsRightShiftSorted(support_set));
   SupportSet out;
   out.reserve(support_set.size());
@@ -27,16 +75,12 @@ SupportSet GrowSupportSet(const InvertedIndex& index,
   size_t k = 0;
   while (k < n) {
     const SeqId seq = support_set[k].seq;
-    // last_position of Algorithm 2 folded into a ">= floor" bound.
     Position floor = 0;
     for (; k < n && support_set[k].seq == seq; ++k) {
       const Instance& inst = support_set[k];
       const Position from = std::max(floor, inst.last + 1);
       const Position lj = index.NextAtOrAfter(seq, e, from);
       if (lj == kNoPosition) {
-        // Algorithm 2 line 5: no occurrence left for this instance; later
-        // instances of this sequence have even larger lower bounds, so stop
-        // scanning the sequence (skip to its end).
         while (k < n && support_set[k].seq == seq) ++k;
         break;
       }

@@ -6,6 +6,17 @@
 // matching each instance to the earliest available occurrence of e
 // (next(S, e, max(last_position, l_{j-1}))). Greedy-leftmost extension is
 // provably maximum (Lemma 4), so |result| == sup(P ◦ e).
+//
+// The hot-path entry point is GrowSupportSetInto: it writes into a
+// caller-owned buffer (the DFS and the closure check double-buffer a small
+// arena, so steady-state growth performs zero allocations) and answers each
+// per-sequence run of next() queries through one PositionCursor (the event
+// slot is resolved once per run and advanced by galloping search instead of
+// a fresh binary search per instance; DESIGN.md §5). The allocating
+// GrowSupportSet is a thin wrapper. GrowSupportSetReference preserves the
+// pre-cursor implementation — a full NextAtOrAfter binary search per query
+// into a freshly allocated set — as the differential-test baseline and the
+// seed arm of bench/ablation_pruning and bm_micro.
 
 #ifndef GSGROW_CORE_INSTANCE_GROWTH_H_
 #define GSGROW_CORE_INSTANCE_GROWTH_H_
@@ -29,6 +40,21 @@ SupportSet RootInstances(const InvertedIndex& index, EventId e);
 /// sorted in right-shift order (it is, if produced by this module).
 SupportSet GrowSupportSet(const InvertedIndex& index,
                           const SupportSet& support_set, EventId e);
+
+/// INSgrow into caller-owned storage: clears `out` (keeping its capacity)
+/// and fills it with the leftmost support set of P ◦ e. `out` must not
+/// alias `support_set`. When `next_queries` is non-null it is incremented
+/// once per next() query issued against the index.
+void GrowSupportSetInto(const InvertedIndex& index,
+                        const SupportSet& support_set, EventId e,
+                        SupportSet& out, uint64_t* next_queries = nullptr);
+
+/// The pre-cursor INSgrow: one full binary search (event slot + position)
+/// per next() query, result freshly allocated. Semantically identical to
+/// GrowSupportSet; kept as the differential-test baseline and as the seed
+/// arm measured by bench/ablation_pruning and bm_micro.
+SupportSet GrowSupportSetReference(const InvertedIndex& index,
+                                   const SupportSet& support_set, EventId e);
 
 /// supComp (Algorithm 1): leftmost support set of `pattern` from scratch.
 /// |result| == sup(pattern). Empty pattern yields an empty set.

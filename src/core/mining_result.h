@@ -29,6 +29,19 @@ struct MiningStats {
   uint64_t nodes_visited = 0;
   /// Total INSgrow invocations (mining growth + closure checking).
   uint64_t insgrow_calls = 0;
+  /// Total next() queries issued against the inverted index through the
+  /// cursor-based growth path (GrowSupportSetInto). The reference growth
+  /// path does not count, so ablation runs show the fast path's query
+  /// volume explicitly.
+  uint64_t next_queries = 0;
+  /// CloGSgrow: closure checks performed (one per ClosurePruning::Decide
+  /// that scans insert/prepend extensions).
+  uint64_t closure_checks = 0;
+  /// CloGSgrow: INSgrow regrow steps performed inside closure checks (base
+  /// growth of a gap candidate plus each regrown pattern event). The gap
+  /// between this and the candidate count is what the memoized early exits
+  /// save.
+  uint64_t closure_regrow_events = 0;
   /// Deepest pattern length reached.
   size_t max_depth = 0;
   /// CloGSgrow: DFS subtrees pruned by landmark border checking (Thm. 5).

@@ -26,6 +26,10 @@ class Pattern {
 
   const std::vector<EventId>& events() const { return events_; }
 
+  /// Steals the event storage (leaves the pattern empty). Lets hot paths
+  /// round-trip a scratch vector through a Pattern without reallocating.
+  std::vector<EventId> TakeEvents() && { return std::move(events_); }
+
   /// P ◦ e (Definition 3.3): this pattern grown with one event.
   Pattern Grow(EventId e) const;
 

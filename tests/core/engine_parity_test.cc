@@ -172,6 +172,49 @@ TEST(EngineParity, TopKSinkEqualsSortedClosedPrefix) {
   }
 }
 
+// The memoized closure-check hot path (lazy restricted prefixes, fused
+// per-sequence-count early exits, cursor-based regrowth) must be decision-
+// identical to the seed regrow path: byte-identical closed output in the
+// engine's emission order, and the exact same DFS shape and accounting.
+TEST(EngineParity, MemoizedClosureMatchesSeedPath) {
+  for (uint64_t seed : {61u, 62u, 63u, 64u, 65u, 66u, 67u, 68u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    for (bool lb_pruning : {true, false}) {
+      for (bool insert_filter : {true, false}) {
+        MinerOptions memoized;
+        memoized.min_support = 4 + seed % 3;
+        memoized.max_pattern_length = 6;
+        memoized.use_landmark_border_pruning = lb_pruning;
+        memoized.use_insert_candidate_filter = insert_filter;
+        memoized.use_memoized_closure = true;
+        MinerOptions reference = memoized;
+        reference.use_memoized_closure = false;
+
+        MiningResult memo = MineClosedFrequent(index, memoized);
+        MiningResult ref = MineClosedFrequent(index, reference);
+        const std::string label =
+            "seed=" + std::to_string(seed) +
+            " lb=" + std::to_string(lb_pruning) +
+            " filter=" + std::to_string(insert_filter);
+        // Byte-identical output: same records in the same emission order.
+        EXPECT_EQ(memo.patterns, ref.patterns) << label;
+        // Identical DFS shape and accounting, not just identical output.
+        EXPECT_EQ(memo.stats.nodes_visited, ref.stats.nodes_visited) << label;
+        EXPECT_EQ(memo.stats.lb_pruned_subtrees, ref.stats.lb_pruned_subtrees)
+            << label;
+        EXPECT_EQ(memo.stats.nonclosed_suppressed,
+                  ref.stats.nonclosed_suppressed)
+            << label;
+        EXPECT_EQ(memo.stats.closure_checks, ref.stats.closure_checks)
+            << label;
+        EXPECT_EQ(memo.stats.patterns_found, ref.stats.patterns_found)
+            << label;
+      }
+    }
+  }
+}
+
 // The bounded-gap extension policy with an unconstrained gap must reduce to
 // plain GSgrow (same patterns, same supports).
 TEST(EngineParity, UnconstrainedGapPolicyEqualsGSgrow) {

@@ -84,6 +84,126 @@ TEST(GrowSupportSet, EmptyInputYieldsEmptyOutput) {
   EXPECT_TRUE(GrowSupportSet(idx, empty, 0).empty());
 }
 
+// --- Cursor fast-path (GrowSupportSetInto) boundary cases. Each scenario
+// is also cross-checked against the pre-cursor reference implementation,
+// which must stay semantically identical. ---
+
+TEST(GrowSupportSetInto, RunsOfOneInstancePerSequence) {
+  // Every sequence contributes exactly one instance: each per-sequence run
+  // opens a fresh cursor, issues a single query, and must not leak state
+  // into the next run.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AB", "AB", "AB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet base = RootInstances(idx, a);
+  ASSERT_EQ(base.size(), 3u);
+  SupportSet out;
+  GrowSupportSetInto(idx, base, b, out);
+  ASSERT_EQ(out.size(), 3u);
+  for (SeqId i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i], (Instance{i, 0, 1}));
+  }
+  EXPECT_EQ(out, GrowSupportSetReference(idx, base, b));
+}
+
+TEST(GrowSupportSetInto, EventAbsentInMiddleSequence) {
+  // B is absent from the middle sequence: its cursor is empty, the run is
+  // skipped wholesale, and the later sequence still grows (cross-sequence
+  // reset of cursor and floor).
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAB", "AAA", "BAB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet base = RootInstances(idx, a);
+  ASSERT_EQ(base.size(), 6u);
+  SupportSet out;
+  GrowSupportSetInto(idx, base, b, out);
+  // Seq 0: first A takes B at 2, second A has none. Seq 1: none.
+  // Seq 2: A at 1 takes B at 2 — the floor from seq 0 must not carry over.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Instance{0, 0, 2}));
+  EXPECT_EQ(out[1], (Instance{2, 1, 2}));
+  EXPECT_EQ(out, GrowSupportSetReference(idx, base, b));
+}
+
+TEST(GrowSupportSetInto, EventExhaustedMidRunSkipsRestOfRun) {
+  // Four As but only two Bs: the cursor exhausts mid-run; the remaining
+  // instances of the run must be skipped without touching the next
+  // sequence, whose own positions start before the previous cursor's end.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AAAABB", "BA"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet base = RootInstances(idx, a);
+  SupportSet out;
+  GrowSupportSetInto(idx, base, b, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Instance{0, 0, 4}));
+  EXPECT_EQ(out[1], (Instance{0, 1, 5}));
+  EXPECT_EQ(out, GrowSupportSetReference(idx, base, b));
+}
+
+TEST(GrowSupportSetInto, ScratchBufferIsClearedAndReused) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABAB"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet base = RootInstances(idx, a);
+  // Pre-poison the scratch: stale contents must not survive.
+  SupportSet scratch = {Instance{7, 7, 7}, Instance{8, 8, 8},
+                        Instance{9, 9, 9}};
+  GrowSupportSetInto(idx, base, b, scratch);
+  ASSERT_EQ(scratch.size(), 2u);
+  EXPECT_EQ(scratch[0], (Instance{0, 0, 1}));
+  EXPECT_EQ(scratch[1], (Instance{0, 2, 3}));
+  // Second growth through the same buffer: capacity is recycled, contents
+  // replaced.
+  GrowSupportSetInto(idx, base, a, scratch);
+  EXPECT_EQ(scratch, GrowSupportSetReference(idx, base, a));
+}
+
+TEST(GrowSupportSetInto, CountsNextQueries) {
+  // AABB: two As, each issuing exactly one successful query.
+  SequenceDatabase db = MakeDatabaseFromStrings({"AABB", "AAA"});
+  InvertedIndex idx(db);
+  EventId a = db.dictionary().Lookup("A");
+  EventId b = db.dictionary().Lookup("B");
+  SupportSet base = RootInstances(idx, a);
+  ASSERT_EQ(base.size(), 5u);
+  SupportSet out;
+  uint64_t queries = 0;
+  GrowSupportSetInto(idx, base, b, out, &queries);
+  // Seq 0: 2 queries (both hit). Seq 1: B absent -> empty cursor, zero
+  // queries (the run is skipped without searching).
+  EXPECT_EQ(queries, 2u);
+  // The counter accumulates across calls.
+  GrowSupportSetInto(idx, base, b, out, &queries);
+  EXPECT_EQ(queries, 4u);
+}
+
+TEST(GrowSupportSetInto, MatchesReferenceOnRandomDatabases) {
+  Rng rng(555);
+  for (int round = 0; round < 40; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 4, 2, 30, 3);
+    InvertedIndex idx(db);
+    SupportSet scratch;  // reused across all growths of the round
+    for (EventId root = 0; root < db.AlphabetSize(); ++root) {
+      SupportSet set = RootInstances(idx, root);
+      for (EventId e = 0; e < db.AlphabetSize(); ++e) {
+        GrowSupportSetInto(idx, set, e, scratch);
+        SupportSet expected = GrowSupportSetReference(idx, set, e);
+        EXPECT_EQ(scratch, expected)
+            << "round=" << round << " root=" << root << " e=" << e;
+        EXPECT_TRUE(IsRightShiftSorted(scratch));
+      }
+      // Chain a growth to exercise multi-event paths.
+      SupportSet grown = GrowSupportSet(idx, set, root);
+      EXPECT_EQ(grown, GrowSupportSetReference(idx, set, root));
+    }
+  }
+}
+
 TEST(ComputeSupportSet, EmptyPattern) {
   SequenceDatabase db = MakeDatabaseFromStrings({"AB"});
   InvertedIndex idx(db);

@@ -120,6 +120,58 @@ TEST(InvertedIndexEdge, SparseAlphabetIds) {
   EXPECT_EQ(idx.present_events().size(), 2u);
 }
 
+TEST_F(InvertedIndexTest, CursorAnswersLikePointQueries) {
+  // S1 = ABCACBDDB: B at 1, 5, 8. Rising-bound queries through one cursor
+  // must match fresh binary searches.
+  PositionCursor cursor = index_.Cursor(0, B_);
+  EXPECT_FALSE(cursor.empty());
+  EXPECT_EQ(cursor.NextAtOrAfter(0), 1u);
+  EXPECT_EQ(cursor.NextAtOrAfter(1), 1u);  // same bound: not yet consumed
+  EXPECT_EQ(cursor.NextAtOrAfter(2), 5u);
+  EXPECT_EQ(cursor.NextAtOrAfter(6), 8u);
+  EXPECT_EQ(cursor.NextAtOrAfter(9), kNoPosition);
+  // Exhausted cursors stay exhausted.
+  EXPECT_EQ(cursor.NextAtOrAfter(9), kNoPosition);
+}
+
+TEST_F(InvertedIndexTest, CursorOverAbsentEventIsEmpty) {
+  PositionCursor cursor = index_.Cursor(0, 999);
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(cursor.NextAtOrAfter(0), kNoPosition);
+}
+
+TEST_F(InvertedIndexTest, DefaultCursorIsEmpty) {
+  PositionCursor cursor;
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_EQ(cursor.NextAtOrAfter(0), kNoPosition);
+}
+
+// The galloping advance must agree with fresh binary searches for every
+// non-decreasing query stream, including large jumps that exercise the
+// doubling phase and repeated equal bounds.
+TEST(InvertedIndexProperty, CursorMatchesNextAtOrAfterOnRandomStreams) {
+  Rng rng(202);
+  for (int round = 0; round < 50; ++round) {
+    SequenceDatabase db = testing::RandomDatabase(&rng, 2, 10, 60, 3);
+    InvertedIndex idx(db);
+    for (SeqId i = 0; i < db.size(); ++i) {
+      for (EventId e = 0; e < db.AlphabetSize(); ++e) {
+        PositionCursor cursor = idx.Cursor(i, e);
+        Position from = 0;
+        while (from <= db[i].length()) {
+          EXPECT_EQ(cursor.NextAtOrAfter(from), idx.NextAtOrAfter(i, e, from))
+              << "round=" << round << " seq=" << i << " e=" << e
+              << " from=" << from;
+          // Mix of small steps (consume adjacent positions) and jumps
+          // (force galloping over several positions at once).
+          from += 1 + static_cast<Position>(rng.UniformInt(
+                         round % 2 == 0 ? 3 : db[i].length() / 2 + 1));
+        }
+      }
+    }
+  }
+}
+
 // Differential check of NextAtOrAfter against a linear scan on random data.
 TEST(InvertedIndexProperty, NextMatchesLinearScan) {
   Rng rng(101);
