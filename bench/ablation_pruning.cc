@@ -114,9 +114,9 @@ int main() {
     if (name.rfind("closure-heavy", 0) == 0) {
       min_sup = bench::ScaledMinSup(160, scale);
     }
-    TextTable table({"variant", "time", "closed patterns", "nodes visited",
-                     "lb-pruned subtrees", "insgrow calls", "next queries",
-                     "regrow events"});
+    TextTable table({"variant", "threads", "time", "closed patterns",
+                     "nodes visited", "lb-pruned subtrees", "insgrow calls",
+                     "next queries", "regrow events"});
     bench::Cell memoized_cell, seed_cell;
     for (const Variant& v : variants) {
       MiningResult result =
@@ -124,7 +124,8 @@ int main() {
       bench::Cell cell = bench::ToCell(result);
       if (std::string(v.name) == "full (memoized)") memoized_cell = cell;
       if (std::string(v.name) == "seed regrow path") seed_cell = cell;
-      table.AddRow({v.name, bench::CellTime(cell), bench::CellCount(cell),
+      table.AddRow({v.name, "1", bench::CellTime(cell),
+                    bench::CellCount(cell),
                     WithThousandsSeparators(result.stats.nodes_visited),
                     WithThousandsSeparators(result.stats.lb_pruned_subtrees),
                     WithThousandsSeparators(result.stats.insgrow_calls),
@@ -135,6 +136,38 @@ int main() {
           bench::CellJson("ablation_pruning", name, v.name, cell);
       json_rows.push_back(json);
       bench::AppendBenchJson(json);
+    }
+    // Thread-scaling rows (ROADMAP "Scale"): the full variant with the root
+    // loop sharded across workers. Output and DFS accounting are
+    // thread-count invariant (pinned by parallel_engine_test); these rows
+    // record the wall-clock curve in BENCH_ablation_pruning.json. Note the
+    // measured speedup is bounded by the physical cores of the machine the
+    // bench runs on.
+    for (size_t threads : {2u, 4u}) {
+      MinerOptions options = VariantOptions(variants[0], min_sup, budget);
+      options.num_threads = threads;
+      MiningResult result = MineClosedFrequent(index, options);
+      bench::Cell cell = bench::ToCell(result, threads);
+      table.AddRow({"full (memoized)", std::to_string(threads),
+                    bench::CellTime(cell), bench::CellCount(cell),
+                    WithThousandsSeparators(result.stats.nodes_visited),
+                    WithThousandsSeparators(result.stats.lb_pruned_subtrees),
+                    WithThousandsSeparators(result.stats.insgrow_calls),
+                    WithThousandsSeparators(result.stats.next_queries),
+                    WithThousandsSeparators(
+                        result.stats.closure_regrow_events)});
+      std::string json = bench::CellJson(
+          "ablation_pruning", name,
+          std::string("full (memoized) x") + std::to_string(threads) +
+              " threads",
+          cell);
+      json_rows.push_back(json);
+      bench::AppendBenchJson(json);
+      if (threads == 4 && !cell.truncated() && !memoized_cell.truncated() &&
+          cell.seconds() > 0) {
+        std::printf("4-thread speedup over 1 thread: %.2fx\n",
+                    memoized_cell.seconds() / cell.seconds());
+      }
     }
     std::printf("(min_sup=%llu)\n%s",
                 static_cast<unsigned long long>(min_sup),

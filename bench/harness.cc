@@ -31,8 +31,8 @@ uint64_t ScaledMinSup(uint64_t paper_value, double scale) {
              std::llround(static_cast<double>(paper_value) * scale)));
 }
 
-Cell ToCell(const MiningResult& result) {
-  return Cell{result.stats};
+Cell ToCell(const MiningResult& result, size_t threads) {
+  return Cell{result.stats, threads};
 }
 
 namespace {
@@ -50,24 +50,26 @@ std::string JsonEscape(const std::string& s) {
 }  // namespace
 
 Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget,
-            const std::string& label) {
+            const std::string& label, size_t num_threads) {
   MinerOptions options;
   options.min_support = min_sup;
   options.time_budget_seconds = budget;
   options.collect_patterns = false;
-  Cell cell = ToCell(MineAllFrequent(index, options));
+  options.num_threads = num_threads;
+  Cell cell = ToCell(MineAllFrequent(index, options), num_threads);
   AppendBenchJson(CellJson("gsgrow", label,
                            "min_sup=" + std::to_string(min_sup), cell));
   return cell;
 }
 
 Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget,
-               const std::string& label) {
+               const std::string& label, size_t num_threads) {
   MinerOptions options;
   options.min_support = min_sup;
   options.time_budget_seconds = budget;
   options.collect_patterns = false;
-  Cell cell = ToCell(MineClosedFrequent(index, options));
+  options.num_threads = num_threads;
+  Cell cell = ToCell(MineClosedFrequent(index, options), num_threads);
   AppendBenchJson(CellJson("clogsgrow", label,
                            "min_sup=" + std::to_string(min_sup), cell));
   return cell;
@@ -80,6 +82,7 @@ std::string CellJson(const std::string& bench, const std::string& dataset,
   out << "{\"bench\":\"" << JsonEscape(bench) << "\""
       << ",\"dataset\":\"" << JsonEscape(dataset) << "\""
       << ",\"config\":\"" << JsonEscape(config) << "\""
+      << ",\"threads\":" << cell.threads
       << ",\"seconds\":" << cell.seconds()
       << ",\"patterns\":" << cell.patterns()
       << ",\"truncated\":" << (cell.truncated() ? "true" : "false")

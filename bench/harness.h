@@ -33,10 +33,12 @@ uint64_t ScaledMinSup(uint64_t paper_value, double scale);
 
 /// Outcome of one mining run: the full MiningStats, so harnesses can
 /// surface pruning effects (next queries, closure checks, regrow events)
-/// instead of inferring them from wall-clock alone. Accessors cover the
-/// three values every table needs.
+/// instead of inferring them from wall-clock alone, plus the worker count
+/// the run used (the JSON rows record a scaling curve). Accessors cover
+/// the three values every table needs.
 struct Cell {
   MiningStats stats;
+  size_t threads = 1;
 
   double seconds() const { return stats.elapsed_seconds; }
   uint64_t patterns() const { return stats.patterns_found; }
@@ -44,16 +46,17 @@ struct Cell {
 };
 
 /// Cell from a finished mining run.
-Cell ToCell(const MiningResult& result);
+Cell ToCell(const MiningResult& result, size_t threads = 1);
 
 /// Runs GSgrow (mining all) without materializing patterns. `label` names
-/// the configuration in the JSON record (see AppendBenchJson).
+/// the configuration in the JSON record (see AppendBenchJson);
+/// `num_threads` shards the root loop (MinerOptions::num_threads).
 Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget,
-            const std::string& label = "");
+            const std::string& label = "", size_t num_threads = 1);
 
 /// Runs CloGSgrow (mining closed) without materializing patterns.
 Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget,
-               const std::string& label = "");
+               const std::string& label = "", size_t num_threads = 1);
 
 /// "1.23 s" or "(>) 5.00 s*" when the run was cut off.
 std::string CellTime(const Cell& cell);

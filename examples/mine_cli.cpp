@@ -1,8 +1,8 @@
 // Command-line miner: end-to-end file-in / file-out usage of the library.
 //
 //   mine_cli --input=db.txt [--format=text|spmf] [--algorithm=closed|all]
-//            [--min_sup=10] [--max_len=0] [--budget=0] [--top=20]
-//            [--output=patterns.tsv] [--density=0] [--maximal]
+//            [--min_sup=10] [--max_len=0] [--budget=0] [--threads=1]
+//            [--top=20] [--output=patterns.tsv] [--density=0] [--maximal]
 //
 // Reads a sequence database (text: one sequence of whitespace-separated
 // event names per line; spmf: "item -1 ... -2" lines), mines repetitive
@@ -14,6 +14,7 @@
 
 #include "core/clogsgrow.h"
 #include "core/gsgrow.h"
+#include "core/parallel_engine.h"
 #include "io/dataset_stats.h"
 #include "io/pattern_io.h"
 #include "io/spmf_format.h"
@@ -31,8 +32,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mine_cli --input=db.txt [--format=text|spmf] "
                  "[--algorithm=closed|all] [--min_sup=N] [--max_len=N] "
-                 "[--budget=SECONDS] [--top=N] [--output=patterns.tsv] "
-                 "[--density=D] [--maximal]\n");
+                 "[--budget=SECONDS] [--threads=N] [--top=N] "
+                 "[--output=patterns.tsv] [--density=D] [--maximal]\n");
     return 2;
   }
 
@@ -56,12 +57,20 @@ int main(int argc, char** argv) {
   if (max_len > 0) options.max_pattern_length = static_cast<size_t>(max_len);
   const double budget = flags.GetDouble("budget", 0.0);
   if (budget > 0) options.time_budget_seconds = budget;
+  // 0 = one worker per hardware thread; output is identical either way.
+  const int64_t threads = flags.GetInt("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return 2;
+  }
+  options.num_threads = static_cast<size_t>(threads);
 
   const std::string algorithm = flags.GetString("algorithm", "closed");
   MiningResult result = algorithm == "all"
                             ? MineAllFrequent(db, options)
                             : MineClosedFrequent(db, options);
-  std::printf("%s mining: %llu patterns in %.2f s%s\n", algorithm.c_str(),
+  std::printf("%s mining (%zu threads): %llu patterns in %.2f s%s\n",
+              algorithm.c_str(), ResolveNumThreads(options.num_threads),
               static_cast<unsigned long long>(result.stats.patterns_found),
               result.stats.elapsed_seconds,
               result.stats.truncated

@@ -1,6 +1,7 @@
 #include "core/clogsgrow.h"
 
 #include "core/growth_engine.h"
+#include "core/parallel_engine.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -8,12 +9,27 @@ namespace gsgrow {
 MiningResult MineClosedFrequent(const InvertedIndex& index,
                                 const MinerOptions& options) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  UnconstrainedExtension extension(index);
-  ClosurePruning pruning(index, options);
+  // Closure checks are root-local (restricted prefix sets derive from the
+  // node's own support set), so each worker owns a private ClosurePruning
+  // arena and the closed set is thread-count invariant.
   if (options.collect_patterns) {
-    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+    return MineSharded(
+        options,
+        [&](SharedRunState& state) {
+          return GrowthEngine(UnconstrainedExtension(index),
+                              ClosurePruning(index, options), CollectSink(),
+                              options, &state);
+        },
+        MergeCollectedPatterns);
   }
-  return GrowthEngine(extension, pruning, CountSink(), options).Run();
+  return MineSharded(
+      options,
+      [&](SharedRunState& state) {
+        return GrowthEngine(UnconstrainedExtension(index),
+                            ClosurePruning(index, options), CountSink(),
+                            options, &state);
+      },
+      MergeCollectedPatterns);
 }
 
 MiningResult MineClosedFrequent(const SequenceDatabase& db,

@@ -5,6 +5,7 @@
 
 #include "core/growth_engine.h"
 #include "core/instance_growth.h"
+#include "core/parallel_engine.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -67,12 +68,26 @@ MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
                                            const LandmarkGapConstraint& gap) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
   InvertedIndex index(db);
-  BoundedGapExtension extension(db, index, gap, options.min_support);
-  NoPruning pruning;
+  // Each worker gets a private BoundedGapExtension (it carries a pattern
+  // scratch buffer); db, index, and gap are shared read-only.
   if (options.collect_patterns) {
-    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+    return MineSharded(
+        options,
+        [&](SharedRunState& state) {
+          return GrowthEngine(
+              BoundedGapExtension(db, index, gap, options.min_support),
+              NoPruning(), CollectSink(), options, &state);
+        },
+        MergeCollectedPatterns);
   }
-  return GrowthEngine(extension, pruning, CountSink(), options).Run();
+  return MineSharded(
+      options,
+      [&](SharedRunState& state) {
+        return GrowthEngine(
+            BoundedGapExtension(db, index, gap, options.min_support),
+            NoPruning(), CountSink(), options, &state);
+      },
+      MergeCollectedPatterns);
 }
 
 }  // namespace gsgrow

@@ -157,6 +157,12 @@ bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
       if (base->size() < support) continue;
     }
     for (EventId e : candidates_) {
+      // The (gap, candidate) scan is the engine's longest uninterruptible
+      // stretch — poll here so a time budget cannot be overshot by a whole
+      // closure check, and so a sibling worker's stop lands mid-node. An
+      // aborted scan returns an indeterminate decision; the engine discards
+      // it (the run is truncated either way).
+      if (node.run != nullptr && node.run->ShouldStop()) return false;
       // Inserting an event equal to the one right after the gap yields
       // the same extension pattern as inserting it one gap to the right
       // (ultimately an append, covered by the DFS children) — skip the
@@ -371,6 +377,9 @@ bool ClosurePruning::CheckInsertExtensionsSeed(const GrowthNode& node,
 
   for (size_t gap = 0; gap < m; ++gap) {
     for (EventId e : insert_candidates) {
+      // Same cooperative-stop poll as the memoized path: both paths must
+      // truncate, not overshoot, when the budget expires mid-check.
+      if (node.run != nullptr && node.run->ShouldStop()) return false;
       if (e == pattern[gap]) continue;
       // Base: leftmost support set of e_1..e_gap ◦ e (restricted).
       SupportSet current;
@@ -480,12 +489,27 @@ void TopKSink::Emit(const std::vector<EventId>& events, uint64_t support) {
   if (heap_.size() < k_) {
     heap_.push_back(std::move(record));
     std::push_heap(heap_.begin(), heap_.end(), Better);
+    if (heap_.size() == k_) PublishFloor();
     return;
   }
   if (!Better(record, heap_.front())) return;
   std::pop_heap(heap_.begin(), heap_.end(), Better);
   heap_.back() = std::move(record);
   std::push_heap(heap_.begin(), heap_.end(), Better);
+  PublishFloor();
+}
+
+// Raises the shared floor to this sink's local floor (monotone CAS max).
+// Publishing a local k-th-best support is always sound: it can only be
+// weaker than (or equal to) the global k-th best, and floors only rise.
+void TopKSink::PublishFloor() {
+  if (shared_floor_ == nullptr) return;
+  const uint64_t local = heap_.front().support;
+  uint64_t current = shared_floor_->load(std::memory_order_relaxed);
+  while (current < local &&
+         !shared_floor_->compare_exchange_weak(current, local,
+                                               std::memory_order_relaxed)) {
+  }
 }
 
 std::vector<PatternRecord> TopKSink::Take() {

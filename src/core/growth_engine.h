@@ -33,8 +33,10 @@
 #define GSGROW_CORE_GROWTH_ENGINE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -50,6 +52,101 @@
 
 namespace gsgrow {
 
+// ---------------------------------------------------------------------------
+// Shared run coordination (DESIGN.md §6)
+// ---------------------------------------------------------------------------
+
+/// Cooperative stop shared by every worker of one mining run. Any worker may
+/// request a stop; the FIRST recorded reason wins, so a run truncated by the
+/// time budget on one worker and by max_patterns on another reports one
+/// deterministic-enough cause instead of whichever worker finished last.
+/// Reasons must be string literals (static storage) — only the pointer is
+/// stored.
+class CooperativeStop {
+ public:
+  bool stopped() const { return stopped_.load(std::memory_order_relaxed); }
+
+  void RequestStop(const char* reason) {
+    const char* expected = nullptr;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+    stopped_.store(true, std::memory_order_release);
+  }
+
+  /// The first recorded reason; "" while not stopped.
+  const char* reason() const {
+    const char* r = reason_.load(std::memory_order_acquire);
+    return r == nullptr ? "" : r;
+  }
+
+ private:
+  std::atomic<bool> stopped_{false};
+  std::atomic<const char*> reason_{nullptr};
+};
+
+/// Coordination state for one mining run, shared by all of its workers.
+/// Single-threaded runs own a private instance; ParallelGrowthEngine
+/// (parallel_engine.h) hands the same instance to every worker.
+struct SharedRunState {
+  explicit SharedRunState(const MinerOptions& options)
+      : budget(options.time_budget_seconds) {}
+
+  /// Root-claim cursor: each worker repeatedly claims the next unclaimed
+  /// index into the frequent-root list. Every root subtree is explored by
+  /// exactly one worker, so merged patterns and summed per-subtree stats
+  /// are independent of the (dynamic, load-balancing) assignment.
+  std::atomic<size_t> next_root{0};
+
+  /// Emissions across all workers, for max_patterns accounting. Only
+  /// touched when max_patterns is finite.
+  std::atomic<uint64_t> patterns_emitted{0};
+
+  /// Top-K: the highest support floor any worker's sink has published.
+  /// Always a lower bound on the true global k-th-best support (a single
+  /// worker's k-th best can only be weaker), so pruning against it is sound
+  /// for every worker.
+  std::atomic<uint64_t> support_floor{0};
+
+  /// First-writer-wins truncation flag + reason.
+  CooperativeStop stop;
+
+  /// Shared wall-clock deadline: one start time for all workers.
+  TimeBudget budget;
+};
+
+/// Per-worker polling handle over the shared run state, passed to policies
+/// through GrowthNode so long policy-internal loops — the closure-check
+/// (gap, candidate) scan in particular — can observe budget expiry and
+/// stops requested by other workers *mid-node*, instead of overshooting the
+/// budget by an unbounded single-check amount.
+class RunContext {
+ public:
+  RunContext() = default;
+  explicit RunContext(SharedRunState* state) : state_(state) {}
+
+  /// True when the run must wind down. The shared stop flag is checked on
+  /// every call (one relaxed load); the wall clock is polled every
+  /// kBudgetPollStride calls, since a steady_clock read per closure-check
+  /// candidate would dominate cheap checks. Budget expiry requests the stop
+  /// with reason "time_budget" (first writer wins).
+  bool ShouldStop() {
+    if (state_ == nullptr) return false;
+    if (state_->stop.stopped()) return true;
+    if (!state_->budget.IsUnlimited() &&
+        (++budget_polls_ % kBudgetPollStride) == 0 &&
+        state_->budget.Expired()) {
+      state_->stop.RequestStop("time_budget");
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr uint32_t kBudgetPollStride = 32;
+  SharedRunState* state_ = nullptr;
+  uint32_t budget_polls_ = 0;
+};
+
 /// Read-only view of the engine's DFS state handed to the policies.
 struct GrowthNode {
   /// The current pattern e_1 .. e_m.
@@ -62,6 +159,9 @@ struct GrowthNode {
   /// supports[k] = sup(e_1 .. e_{k+1}) as defined by the extension policy.
   const std::vector<uint64_t>& supports;
   MiningStats& stats;
+  /// Cooperative-stop polling handle for long policy loops; may be null
+  /// when a policy is driven outside an engine run (micro-benchmarks).
+  RunContext* run = nullptr;
 };
 
 /// State and support of the current pattern grown by one event.
@@ -272,7 +372,17 @@ class CollectSink {
     patterns_.push_back(PatternRecord{Pattern(events), support});
   }
   uint64_t SupportFloor() const { return 0; }
-  std::vector<PatternRecord> Take() { return std::move(patterns_); }
+
+  /// The collected patterns in canonical order (CanonicalPatternLess:
+  /// lexicographic on events, then support). A complete single-threaded DFS
+  /// already emits in this order (siblings ascend, prefixes precede
+  /// extensions), so the sort is a near-no-op there; pinning it here makes
+  /// truncated prefixes and parallel shard merges order-stable instead of
+  /// DFS-incidental.
+  std::vector<PatternRecord> Take() {
+    std::sort(patterns_.begin(), patterns_.end(), CanonicalPatternLess);
+    return std::move(patterns_);
+  }
 
  private:
   std::vector<PatternRecord> patterns_;
@@ -293,25 +403,44 @@ class CountSink {
 /// increases support, so a child below the floor cannot reach the heap.
 class TopKSink {
  public:
-  TopKSink(size_t k, size_t min_length) : k_(k), min_length_(min_length) {}
+  /// `shared_floor`, when given, links this sink to the other workers of a
+  /// parallel run: the sink publishes its local floor there and prunes
+  /// against the maximum published by anyone. The shared value is a lower
+  /// bound on the true global k-th-best support, so pruning stays sound; the
+  /// merged per-worker heaps still contain the exact global top-K
+  /// (MergeTopKPatterns in parallel_engine.h).
+  TopKSink(size_t k, size_t min_length,
+           std::atomic<uint64_t>* shared_floor = nullptr)
+      : k_(k), min_length_(min_length), shared_floor_(shared_floor) {}
 
   void Emit(const std::vector<EventId>& events, uint64_t support);
 
-  /// 0 while the heap is filling; the weakest kept support once full.
-  /// Ties at the floor are kept (a lexicographically smaller pattern can
-  /// still displace the weakest entry).
+  /// 0 while the heap is filling; the weakest kept support once full —
+  /// raised further by the shared floor in parallel runs. Ties at the floor
+  /// are kept (a lexicographically smaller pattern can still displace the
+  /// weakest entry).
   uint64_t SupportFloor() const {
-    return heap_.size() < k_ ? 0 : heap_.front().support;
+    const uint64_t local = heap_.size() < k_ ? 0 : heap_.front().support;
+    if (shared_floor_ == nullptr) return local;
+    return std::max(local,
+                    shared_floor_->load(std::memory_order_relaxed));
   }
 
   /// The kept records, best first.
   std::vector<PatternRecord> Take();
 
- private:
+  /// The sink's strict total order: support descending, then pattern
+  /// ascending. Total because patterns within one run are distinct, which
+  /// is what makes the kept set — and the parallel merge — deterministic
+  /// even when many patterns tie at the k-th support.
   static bool Better(const PatternRecord& a, const PatternRecord& b);
+
+ private:
+  void PublishFloor();
 
   size_t k_;
   size_t min_length_;
+  std::atomic<uint64_t>* shared_floor_;
   // Heap on Better (front = weakest kept record).
   std::vector<PatternRecord> heap_;
 };
@@ -321,34 +450,52 @@ class TopKSink {
 // ---------------------------------------------------------------------------
 
 /// One depth-first mining run over policy types. Policies are taken by
-/// value; referenced structures (index, database, options) must outlive
-/// Run().
+/// value; referenced structures (index, database, options, shared state)
+/// must outlive Run().
+///
+/// When `shared` is given, this engine acts as ONE WORKER of a multi-worker
+/// run: it claims roots from the shared dispenser instead of walking the
+/// whole root list, honors stops requested by sibling workers, and accounts
+/// max_patterns globally. With the default (no shared state) it owns a
+/// private SharedRunState and behaves exactly as a whole single-threaded
+/// run.
 template <typename ExtensionPolicy, typename PruningPolicy,
           typename EmissionSink>
 class GrowthEngine {
  public:
   GrowthEngine(ExtensionPolicy extension, PruningPolicy pruning,
-               EmissionSink sink, const MinerOptions& options)
+               EmissionSink sink, const MinerOptions& options,
+               SharedRunState* shared = nullptr)
       : extension_(std::move(extension)),
         pruning_(std::move(pruning)),
         sink_(std::move(sink)),
         options_(options),
-        budget_(options.time_budget_seconds) {}
+        shared_(shared) {}
 
   MiningResult Run() {
     WallTimer timer;
+    SharedRunState owned_state(options_);
+    state_ = shared_ != nullptr ? shared_ : &owned_state;
+    run_ = RunContext(state_);
     const std::vector<EventId> roots =
         extension_.FrequentRoots(options_.min_support);
-    for (EventId e : roots) {
-      if (stopped_) break;
-      GrownChild root = extension_.Root(e);
+    for (size_t i = state_->next_root.fetch_add(1, std::memory_order_relaxed);
+         i < roots.size();
+         i = state_->next_root.fetch_add(1, std::memory_order_relaxed)) {
+      if (StopRequested()) break;
+      GrownChild root = extension_.Root(roots[i]);
       if (root.support < options_.min_support) continue;
-      Push(e, std::move(root));
+      Push(roots[i], std::move(root));
       Dfs(roots);
       Pop();
     }
+    if (state_->stop.stopped()) {
+      result_.stats.truncated = true;
+      result_.stats.truncated_reason = state_->stop.reason();
+    }
     result_.stats.elapsed_seconds = timer.ElapsedSeconds();
     result_.patterns = sink_.Take();
+    state_ = nullptr;
     return std::move(result_);
   }
 
@@ -367,13 +514,13 @@ class GrowthEngine {
     MiningStats& stats = result_.stats;
     stats.nodes_visited++;
     stats.max_depth = std::max(stats.max_depth, pattern_.size());
-    if (!budget_.IsUnlimited() && budget_.Expired()) {
+    if (!state_->budget.IsUnlimited() && state_->budget.Expired()) {
       Stop("time_budget");
       return;
     }
 
     const uint64_t support = supports_.back();
-    const GrowthNode node{pattern_, prefix_sets_, supports_, stats};
+    const GrowthNode node{pattern_, prefix_sets_, supports_, stats, &run_};
 
     // Append extensions. Children that stay frequent (and above the sink's
     // floor) are recursed into. With use_candidate_list, children inherit
@@ -418,12 +565,22 @@ class GrowthEngine {
       stats.lb_pruned_subtrees++;
       return;
     }
+    // A stop raised during the closure check (budget expiry mid-scan, or a
+    // sibling worker) leaves the decision indeterminate — wind down without
+    // emitting rather than report a possibly non-closed pattern as closed.
+    if (StopRequested()) return;
     if (decision.emit) {
       sink_.Emit(pattern_, support);
       stats.patterns_found++;
-      if (stats.patterns_found >= options_.max_patterns) {
-        Stop("max_patterns");
-        return;
+      if (options_.max_patterns != std::numeric_limits<uint64_t>::max()) {
+        // Global accounting: emissions by ALL workers count toward the cap.
+        const uint64_t emitted =
+            state_->patterns_emitted.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        if (emitted >= options_.max_patterns) {
+          Stop("max_patterns");
+          return;
+        }
       }
     } else {
       stats.nonclosed_suppressed++;
@@ -435,7 +592,7 @@ class GrowthEngine {
             ? scratch.child_candidates
             : candidates;
     for (auto& [e, child] : scratch.children) {
-      if (stopped_) return;
+      if (StopRequested()) return;
       // The sink floor may have risen since the child was grown.
       if (child.support < EffectiveMinSupport()) continue;
       Push(e, std::move(child));
@@ -477,15 +634,25 @@ class GrowthEngine {
 
   void Stop(const char* reason) {
     stopped_ = true;
-    result_.stats.truncated = true;
-    result_.stats.truncated_reason = reason;
+    state_->stop.RequestStop(reason);
+  }
+
+  /// True when this worker — or any sibling sharing the run state — has
+  /// requested a stop. The local flag caches a positive answer so the hot
+  /// loops pay one relaxed atomic load until then.
+  bool StopRequested() {
+    if (!stopped_ && state_->stop.stopped()) stopped_ = true;
+    return stopped_;
   }
 
   ExtensionPolicy extension_;
   PruningPolicy pruning_;
   EmissionSink sink_;
   const MinerOptions& options_;
-  TimeBudget budget_;
+  SharedRunState* shared_;
+  // Points at `shared_` or at Run()'s private state; valid during Run().
+  SharedRunState* state_ = nullptr;
+  RunContext run_;
   MiningResult result_;
   std::vector<EventId> pattern_;
   // prefix_sets_[k] / supports_[k]: state and support of pattern_[0..k].

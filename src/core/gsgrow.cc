@@ -1,6 +1,7 @@
 #include "core/gsgrow.h"
 
 #include "core/growth_engine.h"
+#include "core/parallel_engine.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -8,12 +9,22 @@ namespace gsgrow {
 MiningResult MineAllFrequent(const InvertedIndex& index,
                              const MinerOptions& options) {
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
-  UnconstrainedExtension extension(index);
-  NoPruning pruning;
   if (options.collect_patterns) {
-    return GrowthEngine(extension, pruning, CollectSink(), options).Run();
+    return MineSharded(
+        options,
+        [&](SharedRunState& state) {
+          return GrowthEngine(UnconstrainedExtension(index), NoPruning(),
+                              CollectSink(), options, &state);
+        },
+        MergeCollectedPatterns);
   }
-  return GrowthEngine(extension, pruning, CountSink(), options).Run();
+  return MineSharded(
+      options,
+      [&](SharedRunState& state) {
+        return GrowthEngine(UnconstrainedExtension(index), NoPruning(),
+                            CountSink(), options, &state);
+      },
+      MergeCollectedPatterns);
 }
 
 MiningResult MineAllFrequent(const SequenceDatabase& db,

@@ -25,6 +25,13 @@ struct MinerOptions {
   /// Infinity (default) means unlimited.
   double time_budget_seconds = std::numeric_limits<double>::infinity();
 
+  /// Worker threads sharding the DFS root loop (parallel_engine.h). 1
+  /// (default) runs the classic single-threaded engine inline; 0 means one
+  /// worker per hardware thread. Untruncated output is byte-identical at
+  /// any thread count: patterns in canonical order, per-subtree stats
+  /// summed.
+  size_t num_threads = 1;
+
   /// When false, found patterns are only counted (MiningStats::
   /// patterns_found), not materialized into MiningResult::patterns.
   /// Benchmarks mining tens of millions of patterns use this.

@@ -20,6 +20,17 @@ struct PatternRecord {
                          const PatternRecord& b) = default;
 };
 
+/// Canonical order of collected mining output: lexicographic on the event
+/// sequence, then ascending support. MiningResult::patterns from the
+/// all-frequent and closed miners is pinned to this order regardless of
+/// thread count or truncation; within one run the support is a function of
+/// the pattern, so the tie-break only matters for merged/synthetic lists.
+inline bool CanonicalPatternLess(const PatternRecord& a,
+                                 const PatternRecord& b) {
+  if (a.pattern != b.pattern) return a.pattern < b.pattern;
+  return a.support < b.support;
+}
+
 /// Counters and outcome flags of one mining run.
 struct MiningStats {
   /// Number of patterns emitted into MiningResult::patterns.

@@ -5,6 +5,7 @@
 
 #include "core/growth_engine.h"
 #include "core/inverted_index.h"
+#include "core/parallel_engine.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -30,15 +31,23 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
     MinerOptions miner_options;
     miner_options.min_support = threshold;
     miner_options.max_pattern_length = options.max_pattern_length;
+    miner_options.num_threads = options.num_threads;
     if (!budget.IsUnlimited()) {
       miner_options.time_budget_seconds =
           std::max(0.0, budget.LimitSeconds() - budget.ElapsedSeconds());
     }
-    UnconstrainedExtension extension(index);
-    ClosurePruning pruning(index, miner_options);
-    TopKSink sink(options.k, options.min_length);
-    MiningResult result =
-        GrowthEngine(extension, pruning, std::move(sink), miner_options).Run();
+    MiningResult result = MineSharded(
+        miner_options,
+        [&](SharedRunState& state) {
+          return GrowthEngine(
+              UnconstrainedExtension(index),
+              ClosurePruning(index, miner_options),
+              TopKSink(options.k, options.min_length, &state.support_floor),
+              miner_options, &state);
+        },
+        [&](std::vector<std::vector<PatternRecord>> shards) {
+          return MergeTopKPatterns(std::move(shards), options.k);
+        });
     const bool out_of_budget =
         result.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
     if (result.patterns.size() >= options.k || threshold == 1 ||

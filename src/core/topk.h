@@ -33,6 +33,11 @@ struct TopKOptions {
   size_t max_pattern_length = std::numeric_limits<size_t>::max();
   /// Total wall-clock budget across all descent steps.
   double time_budget_seconds = std::numeric_limits<double>::infinity();
+  /// Worker threads per descent step (see MinerOptions::num_threads):
+  /// per-worker K-bounded heaps share a rising atomic support floor and are
+  /// merged exactly. The returned patterns are identical at any thread
+  /// count, ties at the k-th support included.
+  size_t num_threads = 1;
 };
 
 /// The K closed patterns (length >= min_length) with the highest repetitive

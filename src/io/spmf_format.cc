@@ -21,9 +21,11 @@ Result<SequenceDatabase> ParseSpmfDatabase(const std::string& content) {
     bool terminated = false;
     for (const std::string& token : Split(trimmed, " \t")) {
       int64_t value;
+      // ParseInt64 also rejects values outside int64 range, so a token of
+      // arbitrary length cannot wrap into a valid-looking item.
       if (!ParseInt64(token, &value)) {
         return Status::Corruption("line " + std::to_string(line_number) +
-                                  ": non-numeric token '" + token + "'");
+                                  ": invalid integer token '" + token + "'");
       }
       if (value == -2) {
         terminated = true;
@@ -41,11 +43,22 @@ Result<SequenceDatabase> ParseSpmfDatabase(const std::string& content) {
         return Status::Corruption("line " + std::to_string(line_number) +
                                   ": negative item " + std::to_string(value));
       }
+      // Items at or above the sentinel would silently truncate in the
+      // EventId cast (or collide with kNoEvent) and corrupt mining results.
+      if (value >= static_cast<int64_t>(kNoEvent)) {
+        return Status::OutOfRange(
+            "line " + std::to_string(line_number) + ": item " +
+            std::to_string(value) + " exceeds the supported event-id range");
+      }
       if (++items_in_current_itemset > 1) {
         return Status::InvalidArgument(
             "line " + std::to_string(line_number) +
             ": multi-item itemsets are not supported by this event-sequence "
             "miner");
+      }
+      if (events.size() >= static_cast<size_t>(kNoPosition)) {
+        return Status::OutOfRange("line " + std::to_string(line_number) +
+                                  ": sequence exceeds the supported length");
       }
       events.push_back(static_cast<EventId>(value));
     }

@@ -11,10 +11,19 @@ Result<SequenceDatabase> ParseTextDatabase(const std::string& content) {
   SequenceDatabaseBuilder builder;
   std::istringstream in(content);
   std::string line;
+  size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
-    builder.AddSequence(Split(trimmed, " \t"));
+    std::vector<std::string> names = Split(trimmed, " \t");
+    // Positions are 32-bit; a longer sequence would alias positions and
+    // corrupt every support computation downstream.
+    if (names.size() >= static_cast<size_t>(kNoPosition)) {
+      return Status::OutOfRange("line " + std::to_string(line_number) +
+                                ": sequence exceeds the supported length");
+    }
+    builder.AddSequence(names);
   }
   return builder.Build();
 }
