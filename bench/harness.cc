@@ -31,8 +31,9 @@ uint64_t ScaledMinSup(uint64_t paper_value, double scale) {
              std::llround(static_cast<double>(paper_value) * scale)));
 }
 
-Cell ToCell(const MiningResult& result, size_t threads) {
-  return Cell{result.stats, threads};
+Cell ToCell(const MiningResult& result, size_t threads,
+            std::string semantics) {
+  return Cell{result.stats, threads, std::move(semantics)};
 }
 
 namespace {
@@ -83,6 +84,7 @@ std::string CellJson(const std::string& bench, const std::string& dataset,
       << ",\"dataset\":\"" << JsonEscape(dataset) << "\""
       << ",\"config\":\"" << JsonEscape(config) << "\""
       << ",\"threads\":" << cell.threads
+      << ",\"semantics\":\"" << JsonEscape(cell.semantics) << "\""
       << ",\"seconds\":" << cell.seconds()
       << ",\"patterns\":" << cell.patterns()
       << ",\"truncated\":" << (cell.truncated() ? "true" : "false")

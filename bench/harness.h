@@ -34,11 +34,15 @@ uint64_t ScaledMinSup(uint64_t paper_value, double scale);
 /// Outcome of one mining run: the full MiningStats, so harnesses can
 /// surface pruning effects (next queries, closure checks, regrow events)
 /// instead of inferring them from wall-clock alone, plus the worker count
-/// the run used (the JSON rows record a scaling curve). Accessors cover
-/// the three values every table needs.
+/// the run used (the JSON rows record a scaling curve) and the semantics
+/// annotation selection active during the run ("" when none; the canonical
+/// SemanticsSpecToString form, or a harness-chosen label such as
+/// "posthoc:<spec>" for baseline arms). Accessors cover the three values
+/// every table needs.
 struct Cell {
   MiningStats stats;
   size_t threads = 1;
+  std::string semantics;
 
   double seconds() const { return stats.elapsed_seconds; }
   uint64_t patterns() const { return stats.patterns_found; }
@@ -46,7 +50,8 @@ struct Cell {
 };
 
 /// Cell from a finished mining run.
-Cell ToCell(const MiningResult& result, size_t threads = 1);
+Cell ToCell(const MiningResult& result, size_t threads = 1,
+            std::string semantics = "");
 
 /// Runs GSgrow (mining all) without materializing patterns. `label` names
 /// the configuration in the JSON record (see AppendBenchJson);

@@ -3,11 +3,20 @@
 //   mine_cli --input=db.txt [--format=text|spmf] [--algorithm=closed|all]
 //            [--min_sup=10] [--max_len=0] [--budget=0] [--threads=1]
 //            [--top=20] [--output=patterns.tsv] [--density=0] [--maximal]
+//            [--semantics=window:w=10,iterative,...]
+//            [--semantics_floor=measure:N]
 //
 // Reads a sequence database (text: one sequence of whitespace-separated
 // event names per line; spmf: "item -1 ... -2" lines), mines repetitive
 // gapped subsequences, optionally post-processes, prints the top patterns,
 // and optionally writes the full result as a TSV pattern file.
+//
+// --semantics selects Table-I measures to annotate onto every mined
+// pattern in the same pass (core/semantics_sink.h); annotations appear as
+// an extra column in the printed table and as the "|"-separated block in
+// the output file. --semantics_floor=measure:N then keeps only patterns
+// whose annotated value of `measure` is >= N (annotation-routed filtering;
+// postprocess/filters.h).
 
 #include <cstdio>
 #include <string>
@@ -15,12 +24,14 @@
 #include "core/clogsgrow.h"
 #include "core/gsgrow.h"
 #include "core/parallel_engine.h"
+#include "core/semantics_sink.h"
 #include "io/dataset_stats.h"
 #include "io/pattern_io.h"
 #include "io/spmf_format.h"
 #include "io/text_format.h"
 #include "postprocess/filters.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 #include "util/table.h"
 
 using namespace gsgrow;
@@ -33,7 +44,9 @@ int main(int argc, char** argv) {
                  "usage: mine_cli --input=db.txt [--format=text|spmf] "
                  "[--algorithm=closed|all] [--min_sup=N] [--max_len=N] "
                  "[--budget=SECONDS] [--threads=N] [--top=N] "
-                 "[--output=patterns.tsv] [--density=D] [--maximal]\n");
+                 "[--output=patterns.tsv] [--density=D] [--maximal] "
+                 "[--semantics=window:w=10,iterative,...] "
+                 "[--semantics_floor=measure:N]\n");
     return 2;
   }
 
@@ -65,6 +78,17 @@ int main(int argc, char** argv) {
   }
   options.num_threads = static_cast<size_t>(threads);
 
+  const std::string semantics_spec = flags.GetString("semantics", "");
+  if (!semantics_spec.empty()) {
+    Result<SemanticsOptions> parsed = ParseSemanticsSpec(semantics_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    options.semantics = *parsed;
+  }
+
   const std::string algorithm = flags.GetString("algorithm", "closed");
   MiningResult result = algorithm == "all"
                             ? MineAllFrequent(db, options)
@@ -83,15 +107,50 @@ int main(int argc, char** argv) {
   const double density = flags.GetDouble("density", 0.0);
   if (density > 0) patterns = FilterByDensity(patterns, density);
   if (flags.GetBool("maximal", false)) patterns = FilterMaximal(patterns);
+  const std::string floor_spec = flags.GetString("semantics_floor", "");
+  if (!floor_spec.empty()) {
+    // measure:N — the measure must be part of --semantics; the filter reads
+    // the sink-computed annotation block, never the database.
+    const std::vector<std::string> parts = Split(floor_spec, ":");
+    SemanticsMeasure measure;
+    uint64_t floor_value = 0;
+    if (parts.size() != 2 || !SemanticsMeasureFromName(parts[0], &measure) ||
+        !ParseUint64(parts[1], &floor_value)) {
+      std::fprintf(stderr,
+                   "error: bad --semantics_floor '%s' (expected "
+                   "measure:N with a measure name from --semantics)\n",
+                   floor_spec.c_str());
+      return 2;
+    }
+    if (!SelectionEnables(options.semantics, measure)) {
+      std::fprintf(stderr,
+                   "error: --semantics_floor measure '%s' is not enabled "
+                   "in --semantics='%s'; no mined record would carry it\n",
+                   parts[0].c_str(), semantics_spec.c_str());
+      return 2;
+    }
+    const size_t before = patterns.size();
+    patterns = FilterByAnnotationFloor(patterns, measure, floor_value);
+    std::printf("semantics floor %s >= %llu: kept %zu of %zu patterns\n",
+                parts[0].c_str(),
+                static_cast<unsigned long long>(floor_value),
+                patterns.size(), before);
+  }
   patterns = RankByLength(std::move(patterns));
 
   // --- Report. ---
+  const bool annotated = options.semantics.AnyEnabled();
   const int top = static_cast<int>(flags.GetInt("top", 20));
-  TextTable table({"pattern", "len", "sup"});
+  std::vector<std::string> header = {"pattern", "len", "sup"};
+  if (annotated) header.push_back("semantics");
+  TextTable table(header);
   for (int k = 0; k < top && k < static_cast<int>(patterns.size()); ++k) {
-    table.AddRow({patterns[k].pattern.ToString(db.dictionary()),
-                  std::to_string(patterns[k].pattern.size()),
-                  std::to_string(patterns[k].support)});
+    std::vector<std::string> row = {
+        patterns[k].pattern.ToString(db.dictionary()),
+        std::to_string(patterns[k].pattern.size()),
+        std::to_string(patterns[k].support)};
+    if (annotated) row.push_back(AnnotationsToString(patterns[k].annotations));
+    table.AddRow(row);
   }
   std::printf("\n%s", table.ToString().c_str());
   if (static_cast<int>(patterns.size()) > top) {

@@ -2,11 +2,20 @@
 // on the motivating example (Fig. 1): S1 = AABCDABB, S2 = ABCD.
 //
 //   ./semantics_tour
+//
+// Two routes to the same numbers:
+//  1. the standalone reference scanners of src/semantics (whole-sequence
+//     rescans, one call per definition) — the classic Table I;
+//  2. ONE mining pass with every measure enabled (MineWithSemantics): the
+//     engine annotates each emitted pattern at emission time by replaying
+//     its landmarks against the inverted index (core/semantics_sink.h), so
+//     all definitions for all mined patterns cost a single DFS.
 
 #include <cstdio>
 
 #include "core/instance_growth.h"
 #include "core/inverted_index.h"
+#include "core/semantics_sink.h"
 #include "core/sequence_database.h"
 #include "semantics/gap_support.h"
 #include "semantics/interaction_support.h"
@@ -25,6 +34,7 @@ int main() {
   GapRequirement gap03{0, 3};
 
   std::printf("S1 = AABCDABB, S2 = ABCD (paper Fig. 1 / Table I)\n\n");
+  std::printf("-- reference scanners (one whole-database rescan each) --\n");
   TextTable table({"support definition", "AB", "CD", "notes"});
   table.AddRow({"sequence count (Agrawal&Srikant'95)",
                 std::to_string(SequenceCount(db, ab)),
@@ -56,7 +66,32 @@ int main() {
                 "max non-overlapping instances"});
   std::printf("%s\n", table.ToString().c_str());
 
-  std::printf("support ratio of AB in S1 under gap [0,3]: %.4f (= 4/22)\n",
+  std::printf("support ratio of AB in S1 under gap [0,3]: %.4f (= 4/22)\n\n",
               GapSupportRatio(db[0], ab, gap03));
+
+  // The one-pass route: mine every closed pattern once; each record comes
+  // back annotated with all six measures (database-wide totals — the
+  // window/gap rows above are per-S1, so e.g. AB gains S2's window too).
+  std::printf(
+      "-- one mining pass, all measures annotated at emission "
+      "(MineWithSemantics) --\n");
+  MinerOptions options;
+  options.min_support = 2;
+  options.semantics = SemanticsOptions::All(/*window_width=*/4,
+                                            /*min_gap=*/0, /*max_gap=*/3);
+  MiningResult mined = MineWithSemantics(index, options);
+  TextTable annotated({"closed pattern", "sup", "annotations (db totals)"});
+  for (const PatternRecord& r : mined.patterns) {
+    annotated.AddRow({r.pattern.ToCompactString(db.dictionary()),
+                      std::to_string(r.support),
+                      AnnotationsToString(r.annotations)});
+  }
+  std::printf("%s\n", annotated.ToString().c_str());
+  std::printf(
+      "one DFS (%llu nodes) computed %zu patterns x 6 measures; the "
+      "post-hoc route would rescan the database once per pattern per "
+      "measure.\n",
+      static_cast<unsigned long long>(mined.stats.nodes_visited),
+      mined.patterns.size());
   return 0;
 }

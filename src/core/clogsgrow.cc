@@ -2,6 +2,7 @@
 
 #include "core/growth_engine.h"
 #include "core/parallel_engine.h"
+#include "core/semantics_sink.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -11,25 +12,18 @@ MiningResult MineClosedFrequent(const InvertedIndex& index,
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
   // Closure checks are root-local (restricted prefix sets derive from the
   // node's own support set), so each worker owns a private ClosurePruning
-  // arena and the closed set is thread-count invariant.
-  if (options.collect_patterns) {
+  // arena — and, when annotating, a private TableIAnnotator — and the
+  // closed set is thread-count invariant.
+  return MineWithSelectedSink(index, options, [&](auto make_sink) {
     return MineSharded(
         options,
         [&](SharedRunState& state) {
           return GrowthEngine(UnconstrainedExtension(index),
-                              ClosurePruning(index, options), CollectSink(),
+                              ClosurePruning(index, options), make_sink(),
                               options, &state);
         },
         MergeCollectedPatterns);
-  }
-  return MineSharded(
-      options,
-      [&](SharedRunState& state) {
-        return GrowthEngine(UnconstrainedExtension(index),
-                            ClosurePruning(index, options), CountSink(),
-                            options, &state);
-      },
-      MergeCollectedPatterns);
+  });
 }
 
 MiningResult MineClosedFrequent(const SequenceDatabase& db,

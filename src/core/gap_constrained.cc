@@ -6,6 +6,7 @@
 #include "core/growth_engine.h"
 #include "core/instance_growth.h"
 #include "core/parallel_engine.h"
+#include "core/semantics_sink.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -69,25 +70,22 @@ MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
   GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
   InvertedIndex index(db);
   // Each worker gets a private BoundedGapExtension (it carries a pattern
-  // scratch buffer); db, index, and gap are shared read-only.
-  if (options.collect_patterns) {
+  // scratch buffer); db, index, and gap are shared read-only. Annotation:
+  // the engine's per-node state is the UNCONSTRAINED leftmost support set,
+  // whose distinct sequence ids are exactly the sequences containing the
+  // pattern — precisely what TableIAnnotator needs, so the Table-I values
+  // of a gap-constrained run equal those of an unconstrained run on the
+  // same pattern (the measures themselves are constraint-free).
+  return MineWithSelectedSink(index, options, [&](auto make_sink) {
     return MineSharded(
         options,
         [&](SharedRunState& state) {
           return GrowthEngine(
               BoundedGapExtension(db, index, gap, options.min_support),
-              NoPruning(), CollectSink(), options, &state);
+              NoPruning(), make_sink(), options, &state);
         },
         MergeCollectedPatterns);
-  }
-  return MineSharded(
-      options,
-      [&](SharedRunState& state) {
-        return GrowthEngine(
-            BoundedGapExtension(db, index, gap, options.min_support),
-            NoPruning(), CountSink(), options, &state);
-      },
-      MergeCollectedPatterns);
+  });
 }
 
 }  // namespace gsgrow

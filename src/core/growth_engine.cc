@@ -483,9 +483,11 @@ bool TopKSink::Better(const PatternRecord& a, const PatternRecord& b) {
   return a.pattern < b.pattern;
 }
 
-void TopKSink::Emit(const std::vector<EventId>& events, uint64_t support) {
+void TopKSink::EmitAnnotated(const std::vector<EventId>& events,
+                             uint64_t support,
+                             const SemanticsAnnotations& annotations) {
   if (events.size() < min_length_) return;
-  PatternRecord record{Pattern(events), support};
+  PatternRecord record{Pattern(events), support, annotations};
   if (heap_.size() < k_) {
     heap_.push_back(std::move(record));
     std::push_heap(heap_.begin(), heap_.end(), Better);

@@ -364,12 +364,24 @@ class ClosurePruning {
 // ---------------------------------------------------------------------------
 // Emission sinks
 // ---------------------------------------------------------------------------
+//
+// The engine-facing protocol is Emit(events, support, support_set) /
+// SupportFloor() / Take(). The support-set argument is the emitted node's
+// already-materialized (unconstrained leftmost) support set; the base sinks
+// ignore it, while AnnotatingSink (core/semantics_sink.h) replays Table-I
+// measures from it at emission time. EmitAnnotated is the decorator-facing
+// entry that attaches a computed annotation block to the produced record.
 
 /// Materializes every emitted pattern (MiningResult::patterns).
 class CollectSink {
  public:
-  void Emit(const std::vector<EventId>& events, uint64_t support) {
+  void Emit(const std::vector<EventId>& events, uint64_t support,
+            const SupportSet& /*support_set*/) {
     patterns_.push_back(PatternRecord{Pattern(events), support});
+  }
+  void EmitAnnotated(const std::vector<EventId>& events, uint64_t support,
+                     const SemanticsAnnotations& annotations) {
+    patterns_.push_back(PatternRecord{Pattern(events), support, annotations});
   }
   uint64_t SupportFloor() const { return 0; }
 
@@ -392,7 +404,9 @@ class CollectSink {
 /// mining tens of millions of patterns use this (collect_patterns = false).
 class CountSink {
  public:
-  void Emit(const std::vector<EventId>&, uint64_t) {}
+  void Emit(const std::vector<EventId>&, uint64_t, const SupportSet&) {}
+  void EmitAnnotated(const std::vector<EventId>&, uint64_t,
+                     const SemanticsAnnotations&) {}
   uint64_t SupportFloor() const { return 0; }
   std::vector<PatternRecord> Take() { return {}; }
 };
@@ -413,7 +427,25 @@ class TopKSink {
            std::atomic<uint64_t>* shared_floor = nullptr)
       : k_(k), min_length_(min_length), shared_floor_(shared_floor) {}
 
-  void Emit(const std::vector<EventId>& events, uint64_t support);
+  void Emit(const std::vector<EventId>& events, uint64_t support,
+            const SupportSet& /*support_set*/) {
+    EmitAnnotated(events, support, {});
+  }
+  void EmitAnnotated(const std::vector<EventId>& events, uint64_t support,
+                     const SemanticsAnnotations& annotations);
+
+  /// Whether an emission with this (pattern, support) would enter the heap
+  /// right now — the exact accept condition of EmitAnnotated, exposed so an
+  /// annotating decorator can skip the annotation work for records the heap
+  /// would discard anyway. (The floor only rises, so a later identical
+  /// emission can flip from keep to reject, never the reverse.)
+  bool WouldKeep(const std::vector<EventId>& events, uint64_t support) const {
+    if (events.size() < min_length_) return false;
+    if (heap_.size() < k_) return true;
+    const PatternRecord& weakest = heap_.front();
+    if (support != weakest.support) return support > weakest.support;
+    return events < weakest.pattern.events();
+  }
 
   /// 0 while the heap is filling; the weakest kept support once full —
   /// raised further by the shared floor in parallel runs. Ties at the floor
@@ -570,7 +602,7 @@ class GrowthEngine {
     // emitting rather than report a possibly non-closed pattern as closed.
     if (StopRequested()) return;
     if (decision.emit) {
-      sink_.Emit(pattern_, support);
+      sink_.Emit(pattern_, support, prefix_sets_.back());
       stats.patterns_found++;
       if (options_.max_patterns != std::numeric_limits<uint64_t>::max()) {
         // Global accounting: emissions by ALL workers count toward the cap.

@@ -120,6 +120,13 @@ class InvertedIndex {
 
   size_t num_sequences() const { return seq_blocks_.size(); }
 
+  /// Length of sequence `i`. Every position of a sequence holds exactly one
+  /// event, so the length equals the total position count of the sequence's
+  /// CSR block — the index answers it without the database.
+  Position SequenceLength(SeqId i) const {
+    return static_cast<Position>(seq_blocks_[i].positions.size());
+  }
+
   /// Events with TotalCount(e) > 0, ascending.
   const std::vector<EventId>& present_events() const { return present_events_; }
 

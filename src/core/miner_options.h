@@ -3,10 +3,64 @@
 #ifndef GSGROW_CORE_MINER_OPTIONS_H_
 #define GSGROW_CORE_MINER_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
 namespace gsgrow {
+
+/// Selection of Table-I semantics measures to compute per emitted pattern
+/// (core/semantics_sink.h, DESIGN.md §7). When any measure is enabled and
+/// patterns are collected, every facade wraps its emission sink in an
+/// AnnotatingSink and the resulting PatternRecords carry an annotation
+/// block. Annotation values are a pure function of (pattern, database,
+/// selection), so annotated output stays byte-identical at any thread
+/// count.
+struct SemanticsOptions {
+  /// Agrawal & Srikant '95: number of sequences containing the pattern.
+  bool sequence_count = false;
+
+  /// Mannila '97 definition (i): width-`window_width` windows containing
+  /// the pattern, summed over the database.
+  bool fixed_window = false;
+  size_t window_width = 10;
+
+  /// Mannila '97 definition (ii): minimal windows, summed over the database.
+  bool minimal_window = false;
+
+  /// Zhang '05: landmark occurrences whose consecutive gaps lie in
+  /// [min_gap, max_gap], summed over the database.
+  bool gap_occurrences = false;
+  size_t min_gap = 0;
+  size_t max_gap = std::numeric_limits<size_t>::max();
+
+  /// El-Ramly '02: endpoint-matched substrings containing the pattern.
+  bool interaction = false;
+
+  /// Lo '07: QRE occurrences (MSC/LSC semantics).
+  bool iterative = false;
+
+  bool AnyEnabled() const {
+    return sequence_count || fixed_window || minimal_window ||
+           gap_occurrences || interaction || iterative;
+  }
+
+  /// All six measures with the given window width and gap requirement.
+  static SemanticsOptions All(
+      size_t window_width = 10, size_t min_gap = 0,
+      size_t max_gap = std::numeric_limits<size_t>::max()) {
+    SemanticsOptions s;
+    s.sequence_count = s.fixed_window = s.minimal_window = true;
+    s.gap_occurrences = s.interaction = s.iterative = true;
+    s.window_width = window_width;
+    s.min_gap = min_gap;
+    s.max_gap = max_gap;
+    return s;
+  }
+
+  friend bool operator==(const SemanticsOptions& a,
+                         const SemanticsOptions& b) = default;
+};
 
 /// Mining configuration. Defaults mine everything with the paper's
 /// optimizations enabled; the budget fields exist so benchmark harnesses can
@@ -36,6 +90,14 @@ struct MinerOptions {
   /// patterns_found), not materialized into MiningResult::patterns.
   /// Benchmarks mining tens of millions of patterns use this.
   bool collect_patterns = true;
+
+  /// Table-I measures to annotate onto every emitted pattern at emission
+  /// time (no post-hoc database rescans; see core/semantics_sink.h). The
+  /// default selection is empty: no annotation work, no annotation block.
+  /// The selection never changes WHICH patterns are mined, only what each
+  /// record carries. With collect_patterns = false the values are computed
+  /// and discarded (bench harnesses time the annotation layer this way).
+  SemanticsOptions semantics;
 
   /// Pass the parent's frequent-extension event list down the DFS instead of
   /// retrying the whole alphabet at every node (sound by the Apriori

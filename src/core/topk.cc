@@ -6,6 +6,7 @@
 #include "core/growth_engine.h"
 #include "core/inverted_index.h"
 #include "core/parallel_engine.h"
+#include "core/semantics_sink.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -32,22 +33,40 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
     miner_options.min_support = threshold;
     miner_options.max_pattern_length = options.max_pattern_length;
     miner_options.num_threads = options.num_threads;
+    miner_options.semantics = options.semantics;
     if (!budget.IsUnlimited()) {
       miner_options.time_budget_seconds =
           std::max(0.0, budget.LimitSeconds() - budget.ElapsedSeconds());
     }
-    MiningResult result = MineSharded(
-        miner_options,
-        [&](SharedRunState& state) {
-          return GrowthEngine(
-              UnconstrainedExtension(index),
-              ClosurePruning(index, miner_options),
-              TopKSink(options.k, options.min_length, &state.support_floor),
-              miner_options, &state);
-        },
-        [&](std::vector<std::vector<PatternRecord>> shards) {
-          return MergeTopKPatterns(std::move(shards), options.k);
-        });
+    // The K-bounded heap needs the run's shared floor, so the sink factory
+    // takes the worker's SharedRunState (unlike the Collect/Count ladder in
+    // MineWithSelectedSink). Annotated records merge exactly like plain
+    // ones: the annotation block is a function of the pattern, and
+    // MergeTopKPatterns orders by (support, pattern) only.
+    const auto run = [&](auto make_sink) {
+      return MineSharded(
+          miner_options,
+          [&](SharedRunState& state) {
+            return GrowthEngine(UnconstrainedExtension(index),
+                                ClosurePruning(index, miner_options),
+                                make_sink(state), miner_options, &state);
+          },
+          [&](std::vector<std::vector<PatternRecord>> shards) {
+            return MergeTopKPatterns(std::move(shards), options.k);
+          });
+    };
+    MiningResult result =
+        options.semantics.AnyEnabled()
+            ? run([&](SharedRunState& state) {
+                return AnnotatingSink(
+                    TableIAnnotator(index, miner_options.semantics),
+                    TopKSink(options.k, options.min_length,
+                             &state.support_floor));
+              })
+            : run([&](SharedRunState& state) {
+                return TopKSink(options.k, options.min_length,
+                                &state.support_floor);
+              });
     const bool out_of_budget =
         result.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
     if (result.patterns.size() >= options.k || threshold == 1 ||

@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/miner_options.h"
 #include "core/mining_result.h"
 #include "core/sequence_database.h"
 
@@ -38,6 +39,12 @@ struct TopKOptions {
   /// merged exactly. The returned patterns are identical at any thread
   /// count, ties at the k-th support included.
   size_t num_threads = 1;
+
+  /// Table-I measures to annotate onto the returned records at emission
+  /// time (core/semantics_sink.h). Emissions the K-heap would reject skip
+  /// the annotation work (TopKSink::WouldKeep), so the cost scales with the
+  /// kept set, not the explored one. Never changes WHICH patterns win.
+  SemanticsOptions semantics;
 };
 
 /// The K closed patterns (length >= min_length) with the highest repetitive

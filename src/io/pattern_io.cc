@@ -14,6 +14,10 @@ std::string WritePatterns(const std::vector<PatternRecord>& records,
     out += std::to_string(r.support);
     out.push_back('\t');
     out += r.pattern.ToString(dictionary);
+    if (!r.annotations.empty()) {
+      out += "\t|\t";
+      out += AnnotationsToString(r.annotations);
+    }
     out.push_back('\n');
   }
   return out;
@@ -39,12 +43,52 @@ Result<std::vector<PatternRecord>> ParsePatterns(
       return Status::Corruption("line " + std::to_string(line_number) +
                                 ": bad support '" + tokens[0] + "'");
     }
+    // An optional "|" token separates event names from the annotation
+    // block. It only counts as the separator when followed by at least one
+    // token and every following token has the "name=value" shape — a "|"
+    // followed by plain tokens is an event name (pre-annotation files, and
+    // databases whose alphabet includes "|", keep parsing as before).
+    size_t separator = tokens.size();
+    for (size_t i = 1; i + 1 < tokens.size(); ++i) {
+      if (tokens[i] != "|") continue;
+      bool all_pairs = true;
+      for (size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].find('=') == std::string::npos) {
+          all_pairs = false;
+          break;
+        }
+      }
+      if (all_pairs) {
+        separator = i;
+        break;
+      }
+    }
+    if (separator == 1) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": pattern with no events before '|'");
+    }
     std::vector<EventId> events;
-    for (size_t i = 1; i < tokens.size(); ++i) {
+    for (size_t i = 1; i < separator; ++i) {
       events.push_back(dictionary->Intern(tokens[i]));
     }
+    SemanticsAnnotations annotations;
+    for (size_t i = separator + 1; i < tokens.size(); ++i) {
+      const std::vector<std::string> kv = Split(tokens[i], "=");
+      SemanticsMeasure measure;
+      uint64_t value = 0;
+      // ParseUint64 covers the full counter range: saturated measure
+      // values (UINT64_MAX) written by the annotator must re-parse.
+      if (kv.size() != 2 || !SemanticsMeasureFromName(kv[0], &measure) ||
+          !ParseUint64(kv[1], &value)) {
+        return Status::Corruption("line " + std::to_string(line_number) +
+                                  ": bad annotation '" + tokens[i] +
+                                  "' (expected measure=value)");
+      }
+      annotations.values.push_back({measure, value});
+    }
     records.push_back(PatternRecord{Pattern(std::move(events)),
-                                    static_cast<uint64_t>(support)});
+                                    static_cast<uint64_t>(support),
+                                    std::move(annotations)});
   }
   return records;
 }

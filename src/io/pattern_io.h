@@ -1,6 +1,21 @@
 // Serialization of mined pattern sets: "support <TAB> event names..." per
 // line, comments with '#'. Lets downstream tooling (ranking, diffing runs,
 // feature pipelines) consume miner output without linking the library.
+//
+// Records mined with a semantics selection (core/semantics_sink.h) carry an
+// annotation block, serialized as a trailing "|"-separated segment of
+// name=value pairs in canonical measure order:
+//
+//   4\tA B\t|\tfixed_window=4 iterative=3
+//
+// A "|" token is the separator only when every token after it has the
+// name=value shape; otherwise it is an ordinary event name. Lines without
+// a separator parse to records with an empty block, so pre-annotation
+// files — including ones whose alphabet contains "|" — remain readable,
+// and the round trip is exact in both directions (values cover the full
+// uint64 range, so saturated counters survive). The one reserved shape is
+// an event name containing '=' directly after a "|" event: it would be
+// taken for an annotation pair.
 
 #ifndef GSGROW_IO_PATTERN_IO_H_
 #define GSGROW_IO_PATTERN_IO_H_

@@ -46,6 +46,19 @@ std::vector<PatternRecord> FilterMaximal(
   return out;
 }
 
+std::vector<PatternRecord> FilterByAnnotationFloor(
+    const std::vector<PatternRecord>& records, SemanticsMeasure measure,
+    uint64_t min_value) {
+  std::vector<PatternRecord> out;
+  for (const PatternRecord& r : records) {
+    uint64_t value = 0;
+    if (r.annotations.Get(measure, &value) && value >= min_value) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
 std::vector<PatternRecord> RankByLength(std::vector<PatternRecord> records) {
   std::sort(records.begin(), records.end(),
             [](const PatternRecord& a, const PatternRecord& b) {

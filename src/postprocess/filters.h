@@ -4,6 +4,15 @@
 //   2. Maximality: keep only patterns that are not sub-patterns of another
 //      reported pattern.
 //   3. Ranking: order by length, longest first.
+//
+// Scope note (DESIGN.md §7): these filters CONSUME PatternRecords; they do
+// not evaluate per-pattern measures against the database. Length floors are
+// owned by the mining sinks (TopKOptions::min_length), and Table-I
+// semantics values are owned by the emission-time annotation layer
+// (MinerOptions::semantics / core/semantics_sink.h) — post-hoc rescans of
+// the raw sequences to re-derive either would be a second source of truth.
+// FilterByAnnotationFloor below is the annotation-routed selection path;
+// every filter preserves the records' annotation blocks.
 
 #ifndef GSGROW_POSTPROCESS_FILTERS_H_
 #define GSGROW_POSTPROCESS_FILTERS_H_
@@ -28,6 +37,15 @@ std::vector<PatternRecord> FilterByDensity(
 /// record's pattern (support values are ignored, as in the case study).
 std::vector<PatternRecord> FilterMaximal(
     const std::vector<PatternRecord>& records);
+
+/// Keeps records whose annotation block carries `measure` with a value
+/// >= `min_value`. The values are the ones computed by the mining sinks
+/// (mine with MinerOptions::semantics enabling the measure); records whose
+/// block lacks the measure are dropped — this filter never rescans the
+/// database to fill the gap, by design (header scope note).
+std::vector<PatternRecord> FilterByAnnotationFloor(
+    const std::vector<PatternRecord>& records, SemanticsMeasure measure,
+    uint64_t min_value);
 
 /// Sorts by descending length; ties by descending support, then pattern.
 std::vector<PatternRecord> RankByLength(std::vector<PatternRecord> records);

@@ -9,7 +9,10 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
+#include <vector>
 
+#include "core/inverted_index.h"
 #include "core/pattern.h"
 #include "core/sequence.h"
 #include "core/sequence_database.h"
@@ -43,6 +46,27 @@ uint64_t MaxPossibleOccurrences(size_t sequence_length, size_t pattern_length,
 /// GapOccurrenceCount / N_l (0 when N_l == 0).
 double GapSupportRatio(const Sequence& sequence, const Pattern& pattern,
                        const GapRequirement& gap);
+
+// --- Incremental entry point (landmark replay; DESIGN.md §7) -------------
+
+/// Caller-owned scratch for GapOccurrenceCountWithCursor: the DP and prefix
+/// arrays persist across calls, so emission-time annotation allocates
+/// nothing in steady state.
+struct GapCountScratch {
+  std::vector<uint64_t> dp;
+  std::vector<uint64_t> next;
+  std::vector<uint64_t> prefix;
+};
+
+/// GapOccurrenceCount for sequence `i`, computed over the index's occurrence
+/// lists of the pattern's events instead of a raw-sequence scan: the DP only
+/// visits positions where a pattern event actually occurs
+/// (O(sum_j |occ(e_j)| log) instead of O(len * |pattern|)). Identical
+/// values — including the saturation behavior — to GapOccurrenceCount.
+uint64_t GapOccurrenceCountWithCursor(const InvertedIndex& index, SeqId i,
+                                      std::span<const EventId> pattern,
+                                      const GapRequirement& gap,
+                                      GapCountScratch* scratch);
 
 }  // namespace gsgrow
 

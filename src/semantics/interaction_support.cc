@@ -50,4 +50,23 @@ uint64_t InteractionSupport(const SequenceDatabase& db,
   return total;
 }
 
+uint64_t InteractionCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions,
+    std::span<const Position> last_event_positions) {
+  uint64_t count = 0;
+  // Completion ends are non-decreasing, so the first qualifying last-event
+  // occurrence only moves right — one forward sweep answers every row.
+  // (end > start always holds for size >= 2 patterns, so the reference's
+  // e > s endpoint condition is implied by e >= end.)
+  size_t k = 0;
+  for (const LandmarkCompletion& c : completions) {
+    while (k < last_event_positions.size() &&
+           last_event_positions[k] < c.end) {
+      ++k;
+    }
+    count += last_event_positions.size() - k;
+  }
+  return count;
+}
+
 }  // namespace gsgrow

@@ -7,10 +7,12 @@
 #define GSGROW_SEMANTICS_INTERACTION_SUPPORT_H_
 
 #include <cstdint>
+#include <span>
 
 #include "core/pattern.h"
 #include "core/sequence.h"
 #include "core/sequence_database.h"
+#include "semantics/landmark_replay.h"
 
 namespace gsgrow {
 
@@ -24,6 +26,21 @@ uint64_t InteractionOccurrenceCount(const Sequence& sequence,
 /// Sum over all sequences of the database.
 uint64_t InteractionSupport(const SequenceDatabase& db,
                             const Pattern& pattern);
+
+// --- Incremental entry point (landmark replay; DESIGN.md §7) -------------
+
+/// InteractionOccurrenceCount for one sequence, from its leftmost-completion
+/// table and the sorted occurrence positions of the pattern's LAST event
+/// (InvertedIndex::Positions). A substring [s, e] with S[s] = e_1 and
+/// S[e] = e_m contains the pattern iff the leftmost embedding starting at s
+/// completes by e, so each completion row (s, end) contributes the number of
+/// last-event occurrences at positions >= end. Only valid for patterns of
+/// size >= 2 (for size-1 patterns the count is the occurrence count of the
+/// event; callers read it off the index directly). Equal to
+/// InteractionOccurrenceCount on every input.
+uint64_t InteractionCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions,
+    std::span<const Position> last_event_positions);
 
 }  // namespace gsgrow
 

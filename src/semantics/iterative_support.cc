@@ -42,4 +42,18 @@ uint64_t IterativeSupport(const SequenceDatabase& db, const Pattern& pattern) {
   return total;
 }
 
+uint64_t IterativeCountFromProjection(std::span<const ProjectedEvent> projection,
+                                      std::span<const EventId> pattern) {
+  const size_t m = pattern.size();
+  if (m == 0 || projection.size() < m) return 0;
+  uint64_t count = 0;
+  for (size_t i = 0; i + m <= projection.size(); ++i) {
+    if (projection[i].event != pattern[0]) continue;
+    size_t j = 1;
+    while (j < m && projection[i + j].event == pattern[j]) ++j;
+    count += (j == m);
+  }
+  return count;
+}
+
 }  // namespace gsgrow

@@ -9,10 +9,12 @@
 #define GSGROW_SEMANTICS_ITERATIVE_SUPPORT_H_
 
 #include <cstdint>
+#include <span>
 
 #include "core/pattern.h"
 #include "core/sequence.h"
 #include "core/sequence_database.h"
+#include "semantics/landmark_replay.h"
 
 namespace gsgrow {
 
@@ -24,6 +26,17 @@ uint64_t IterativeOccurrenceCount(const Sequence& sequence,
 
 /// Sum over all sequences of the database.
 uint64_t IterativeSupport(const SequenceDatabase& db, const Pattern& pattern);
+
+// --- Incremental entry point (landmark replay; DESIGN.md §7) -------------
+
+/// IterativeOccurrenceCount for one sequence, from its projected-event list
+/// (landmark_replay.h): with all non-pattern events removed, the QRE
+///   e_1 G* e_2 G* ... G* e_n   (G = alphabet minus the pattern's events)
+/// forbids ANY pattern event between consecutive matches, so an occurrence
+/// is exactly a CONTIGUOUS run of the projection equal to the pattern.
+/// Equal to IterativeOccurrenceCount on every input.
+uint64_t IterativeCountFromProjection(std::span<const ProjectedEvent> projection,
+                                      std::span<const EventId> pattern);
 
 }  // namespace gsgrow
 

@@ -1,0 +1,85 @@
+// Landmark replay: shared cursor-based precursors of the incremental
+// Table-I entry points (DESIGN.md §7).
+//
+// The mining engine materializes, for every emitted pattern, its leftmost
+// support set — which pins down exactly the sequences the pattern occurs in.
+// The semantics measures are then per-sequence sums, and each per-sequence
+// value is a function of two small derived structures that can be replayed
+// from the InvertedIndex without touching the raw sequence:
+//
+//  * the LEFTMOST-COMPLETION TABLE: for each occurrence p of e_1, the end of
+//    the leftmost (greedy) embedding of the pattern starting exactly at p.
+//    Window counts, minimal windows, and interaction counts all reduce to
+//    arithmetic over this table (window_support.h, interaction_support.h).
+//    Because completion ends are non-decreasing in the start and failure is
+//    monotone, one forward-only PositionCursor per pattern position answers
+//    every query with amortized galloping.
+//
+//  * the PROJECTED-EVENT LIST: the (position, event) pairs of the pattern's
+//    distinct events, merged in position order. The QRE occurrences of the
+//    iterative semantics are exactly the contiguous matches of the pattern
+//    inside this projection (iterative_support.h).
+//
+// Both builders write into caller-owned buffers so an emission-time
+// annotator (core/semantics_sink.h) allocates nothing in steady state.
+
+#ifndef GSGROW_SEMANTICS_LANDMARK_REPLAY_H_
+#define GSGROW_SEMANTICS_LANDMARK_REPLAY_H_
+
+#include <span>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/types.h"
+
+namespace gsgrow {
+
+/// One row of the leftmost-completion table: the leftmost embedding of the
+/// pattern with first landmark `start` ends at `end` (start == end for
+/// single-event patterns).
+struct LandmarkCompletion {
+  Position start = 0;
+  Position end = 0;
+
+  friend bool operator==(const LandmarkCompletion& a,
+                         const LandmarkCompletion& b) = default;
+};
+
+/// Leftmost-completion rows for sequence `i`, ascending by start. Rows exist
+/// for the completable prefix of e_1's occurrences: once the greedy embedding
+/// from some occurrence fails, it fails from every later occurrence too
+/// (fewer positions remain), so the scan stops there. Both `start` and `end`
+/// columns are strictly / weakly increasing respectively.
+/// Clears and fills `out` (capacity reused); `cursors` is caller-owned
+/// scratch for the per-position forward cursors. `pattern` must be
+/// non-empty.
+void ReplayLeftmostCompletions(const InvertedIndex& index, SeqId i,
+                               std::span<const EventId> pattern,
+                               std::vector<LandmarkCompletion>* out,
+                               std::vector<PositionCursor>* cursors);
+
+/// One entry of the projected-event list.
+struct ProjectedEvent {
+  Position pos = 0;
+  EventId event = kNoEvent;
+
+  friend bool operator==(const ProjectedEvent& a,
+                         const ProjectedEvent& b) = default;
+};
+
+/// Sorted distinct events of `events` (a raw pattern works), into `out`
+/// (cleared, capacity reused). The alphabet depends only on the pattern —
+/// build it once and replay it across every relevant sequence.
+void BuildAlphabet(std::span<const EventId> events,
+                   std::vector<EventId>* out);
+
+/// The (position, event) pairs of `alphabet` in sequence `i`, ascending by
+/// position. `alphabet` must be sorted and duplicate-free (BuildAlphabet).
+/// Clears and fills `out` (capacity reused).
+void ReplayProjectedEvents(const InvertedIndex& index, SeqId i,
+                           std::span<const EventId> alphabet,
+                           std::vector<ProjectedEvent>* out);
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SEMANTICS_LANDMARK_REPLAY_H_

@@ -18,4 +18,18 @@ uint64_t SequenceCount(const SequenceDatabase& db, const Pattern& pattern) {
   return count;
 }
 
+uint64_t SequenceCountFromLandmarks(const SupportSet& support_set) {
+  uint64_t count = 0;
+  SeqId prev = 0;
+  bool any = false;
+  for (const Instance& inst : support_set) {
+    if (!any || inst.seq != prev) {
+      ++count;
+      prev = inst.seq;
+      any = true;
+    }
+  }
+  return count;
+}
+
 }  // namespace gsgrow

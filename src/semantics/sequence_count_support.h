@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/instance.h"
 #include "core/pattern.h"
 #include "core/sequence.h"
 #include "core/sequence_database.h"
@@ -18,6 +19,13 @@ bool ContainsPattern(const Sequence& sequence, const Pattern& pattern);
 
 /// Number of sequences of `db` containing `pattern`.
 uint64_t SequenceCount(const SequenceDatabase& db, const Pattern& pattern);
+
+// --- Incremental entry point (landmark replay; DESIGN.md §7) -------------
+
+/// SequenceCount from a pattern's (unconstrained) leftmost support set: a
+/// sequence contains the pattern iff it holds at least one instance, so the
+/// count is the number of distinct sequence ids (the set is seq-sorted).
+uint64_t SequenceCountFromLandmarks(const SupportSet& support_set);
 
 }  // namespace gsgrow
 

@@ -1,5 +1,7 @@
 #include "semantics/window_support.h"
 
+#include <algorithm>
+
 namespace gsgrow {
 
 namespace {
@@ -62,6 +64,46 @@ uint64_t MinimalWindowSupport(const SequenceDatabase& db,
     total += MinimalWindowCount(s, pattern);
   }
   return total;
+}
+
+uint64_t FixedWindowCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions, size_t sequence_length,
+    size_t w) {
+  if (w == 0 || sequence_length < w) return 0;
+  // Window starts x in (prev start, starts[i]] resolve to completion i; the
+  // window contains the pattern iff ends[i] <= x + w - 1. Starts past the
+  // last completion row have no embedding (failure is monotone) and count
+  // nothing.
+  const int64_t last_start = static_cast<int64_t>(sequence_length - w);
+  uint64_t count = 0;
+  int64_t lo = 0;
+  for (const LandmarkCompletion& c : completions) {
+    const int64_t hi = std::min<int64_t>(c.start, last_start);
+    const int64_t contains_from =
+        std::max<int64_t>(lo, static_cast<int64_t>(c.end) + 1 -
+                                  static_cast<int64_t>(w));
+    if (contains_from <= hi) {
+      count += static_cast<uint64_t>(hi - contains_from + 1);
+    }
+    lo = static_cast<int64_t>(c.start) + 1;
+    if (lo > last_start) break;
+  }
+  return count;
+}
+
+uint64_t MinimalWindowCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < completions.size(); ++i) {
+    // [start_i, end_i] is the leftmost completion from start_i, so shrinking
+    // the right edge never contains the pattern; shrinking the left edge
+    // contains it iff the next completion row ends no later.
+    if (i + 1 == completions.size() ||
+        completions[i + 1].end > completions[i].end) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 }  // namespace gsgrow

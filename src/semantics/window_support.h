@@ -13,10 +13,12 @@
 #define GSGROW_SEMANTICS_WINDOW_SUPPORT_H_
 
 #include <cstdint>
+#include <span>
 
 #include "core/pattern.h"
 #include "core/sequence.h"
 #include "core/sequence_database.h"
+#include "semantics/landmark_replay.h"
 
 namespace gsgrow {
 
@@ -37,6 +39,27 @@ uint64_t MinimalWindowCount(const Sequence& sequence, const Pattern& pattern);
 /// Sum of MinimalWindowCount over all sequences.
 uint64_t MinimalWindowSupport(const SequenceDatabase& db,
                               const Pattern& pattern);
+
+// --- Incremental entry points (landmark replay; DESIGN.md §7) ------------
+//
+// Both take the sequence's leftmost-completion table (landmark_replay.h)
+// instead of the raw sequence; with E(x) := the completion end of the first
+// table row whose start is >= x (the leftmost embedding beginning at or
+// after x), a width-w window [x, x+w) contains the pattern iff
+// E(x) <= x+w-1. Equal to the whole-sequence scanners above on every input
+// (pinned by the semantics differential suites).
+
+/// FixedWindowCount from the completion table of one sequence of length
+/// `sequence_length`.
+uint64_t FixedWindowCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions, size_t sequence_length,
+    size_t w);
+
+/// MinimalWindowCount from the completion table: row i is a minimal window
+/// exactly when no later row completes at the same end (ends are
+/// non-decreasing, so that is `i` being last or ends[i+1] > ends[i]).
+uint64_t MinimalWindowCountFromLandmarks(
+    std::span<const LandmarkCompletion> completions);
 
 }  // namespace gsgrow
 

@@ -46,6 +46,13 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   return ec == std::errc() && ptr == s.data() + s.size();
 }
 
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  s = Trim(s);
+  if (s.empty()) return false;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
   if (s.empty()) return false;

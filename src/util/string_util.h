@@ -3,6 +3,7 @@
 #ifndef GSGROW_UTIL_STRING_UTIL_H_
 #define GSGROW_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,11 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 
 /// Parses a signed integer; returns false on any non-numeric content.
 bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses an unsigned integer (full uint64 range, so saturated counters
+/// like UINT64_MAX round-trip); returns false on any non-numeric content
+/// or a leading '-'.
+bool ParseUint64(std::string_view s, uint64_t* out);
 
 /// Parses a double; returns false on any non-numeric content.
 bool ParseDouble(std::string_view s, double* out);

@@ -131,6 +131,60 @@ TEST(ParallelEngine, TopKParityAcrossThreadCounts) {
   }
 }
 
+// Acceptance criterion of the annotation layer (DESIGN.md §7): ANNOTATED
+// output — records including their Table-I annotation blocks, which
+// PatternRecord equality covers — is byte-identical at 1, 2, and 8 workers.
+// Annotations are a pure function of (pattern, database, selection), so the
+// canonical merge needs no annotation-specific logic; this pins that.
+TEST(ParallelEngine, AnnotatedParityAcrossThreadCounts) {
+  for (uint64_t seed : {14u, 15u}) {
+    SequenceDatabase db = QuestDatabase(seed);
+    InvertedIndex index(db);
+    MinerOptions options;
+    options.min_support = 5;
+    options.max_pattern_length = 5;
+    options.semantics = SemanticsOptions::All(/*window_width=*/6,
+                                              /*min_gap=*/0, /*max_gap=*/3);
+    MiningResult closed_baseline = MineClosedFrequent(index, options);
+    MiningResult all_baseline = MineAllFrequent(index, options);
+    ASSERT_FALSE(closed_baseline.stats.truncated);
+    for (const PatternRecord& r : closed_baseline.patterns) {
+      ASSERT_FALSE(r.annotations.empty());
+    }
+    for (size_t threads : {2u, 8u}) {
+      options.num_threads = threads;
+      ExpectIdenticalResults(closed_baseline, MineClosedFrequent(index, options),
+                             "annotated closed seed=" + std::to_string(seed) +
+                                 " threads=" + std::to_string(threads));
+      ExpectIdenticalResults(all_baseline, MineAllFrequent(index, options),
+                             "annotated all seed=" + std::to_string(seed) +
+                                 " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Annotated top-K: the shared support floor and WouldKeep-gated annotation
+// must not disturb the kept set, and every kept record carries its block at
+// any worker count.
+TEST(ParallelEngine, AnnotatedTopKParityAcrossThreadCounts) {
+  SequenceDatabase db = QuestDatabase(16);
+  TopKOptions options;
+  options.k = 6;
+  options.min_length = 2;
+  options.max_pattern_length = 5;
+  options.semantics.sequence_count = true;
+  options.semantics.iterative = true;
+  std::vector<PatternRecord> baseline = MineTopKClosed(db, options);
+  ASSERT_FALSE(baseline.empty());
+  for (const PatternRecord& r : baseline) {
+    EXPECT_EQ(r.annotations.values.size(), 2u);
+  }
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    EXPECT_EQ(baseline, MineTopKClosed(db, options)) << "threads=" << threads;
+  }
+}
+
 TEST(ParallelEngine, CountOnlyStatsMatchAcrossThreadCounts) {
   SequenceDatabase db = QuestDatabase(41);
   InvertedIndex index(db);

@@ -8,6 +8,7 @@
 #include "core/clogsgrow.h"
 #include "core/instance_growth.h"
 #include "core/inverted_index.h"
+#include "core/semantics_sink.h"
 #include "test_util.h"
 
 namespace gsgrow {
@@ -55,6 +56,107 @@ TEST(PatternIo, ReloadedPatternsEvaluateOnDatabase) {
   for (const PatternRecord& r : *restored) {
     EXPECT_EQ(ComputeSupport(index, r.pattern), r.support);
   }
+}
+
+TEST(PatternIo, WritesAnnotationBlock) {
+  EventDictionary dict;
+  dict.Intern("a");
+  dict.Intern("b");
+  SemanticsAnnotations ann;
+  ann.values.push_back({SemanticsMeasure::kFixedWindow, 4});
+  ann.values.push_back({SemanticsMeasure::kIterative, 3});
+  std::vector<PatternRecord> records = {{Pattern({0, 1}), 7, ann}};
+  std::string text = WritePatterns(records, dict);
+  EXPECT_NE(text.find("7\ta b\t|\tfixed_window=4 iterative=3"),
+            std::string::npos);
+}
+
+TEST(PatternIo, AnnotatedRoundTripIsExact) {
+  // Records straight out of the one-pass miner, with every measure
+  // enabled: write + parse must restore pattern, support, AND the
+  // annotation block bit-for-bit.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCACBDDB", "ACDBACADD"});
+  MinerOptions options;
+  options.min_support = 2;
+  options.semantics = SemanticsOptions::All(/*window_width=*/4,
+                                            /*min_gap=*/0, /*max_gap=*/3);
+  MiningResult mined = MineClosedFrequent(db, options);
+  ASSERT_FALSE(mined.patterns.empty());
+  ASSERT_FALSE(mined.patterns[0].annotations.empty());
+  std::string text = WritePatterns(mined.patterns, db.dictionary());
+
+  EventDictionary* dict = db.mutable_dictionary();
+  Result<std::vector<PatternRecord>> restored = ParsePatterns(text, dict);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, mined.patterns);
+}
+
+TEST(PatternIo, MixedAnnotatedAndPlainLines) {
+  EventDictionary dict;
+  Result<std::vector<PatternRecord>> r = ParsePatterns(
+      "5\ta b\n3\tb a\t|\tsequence_count=2 iterative=1\n", &dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_TRUE((*r)[0].annotations.empty());
+  ASSERT_EQ((*r)[1].annotations.values.size(), 2u);
+  EXPECT_EQ((*r)[1].annotations.values[0].measure,
+            SemanticsMeasure::kSequenceCount);
+  EXPECT_EQ((*r)[1].annotations.values[0].value, 2u);
+  EXPECT_EQ((*r)[1].annotations.values[1].measure,
+            SemanticsMeasure::kIterative);
+  EXPECT_EQ((*r)[1].annotations.values[1].value, 1u);
+}
+
+TEST(PatternIo, RejectsMalformedAnnotations) {
+  EventDictionary dict;
+  // Unknown measure name.
+  EXPECT_FALSE(ParsePatterns("5\ta\t|\tbogus=1\n", &dict).ok());
+  // Negative value.
+  EXPECT_FALSE(ParsePatterns("5\ta\t|\titerative=-2\n", &dict).ok());
+  // Value overflowing uint64.
+  EXPECT_FALSE(
+      ParsePatterns("5\ta\t|\titerative=99999999999999999999\n", &dict).ok());
+  // Separator with no events before it.
+  EXPECT_FALSE(ParsePatterns("5\t|\titerative=1\n", &dict).ok());
+}
+
+TEST(PatternIo, SaturatedAnnotationValuesRoundTrip) {
+  // Measure counters saturate at UINT64_MAX by design (gap_support.cc);
+  // written files must come back bit-for-bit.
+  EventDictionary dict;
+  dict.Intern("a");
+  SemanticsAnnotations ann;
+  ann.values.push_back(
+      {SemanticsMeasure::kGapOccurrences, UINT64_MAX});
+  std::vector<PatternRecord> records = {{Pattern({0}), 2, ann}};
+  Result<std::vector<PatternRecord>> restored =
+      ParsePatterns(WritePatterns(records, dict), &dict);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, records);
+}
+
+TEST(PatternIo, PipeEventNamesStayEvents) {
+  // "|" is only the annotation separator when followed exclusively by
+  // name=value pairs; databases whose alphabet contains "|" keep parsing.
+  EventDictionary dict;
+  Result<std::vector<PatternRecord>> r =
+      ParsePatterns("5\ta | b\n3\t|\n", &dict);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].pattern.size(), 3u);
+  EXPECT_TRUE((*r)[0].annotations.empty());
+  EXPECT_EQ((*r)[1].pattern.size(), 1u);
+
+  // And a "|" event WITH annotations round-trips through the writer.
+  EventDictionary pipe_dict;
+  pipe_dict.Intern("|");
+  SemanticsAnnotations ann;
+  ann.values.push_back({SemanticsMeasure::kIterative, 4});
+  std::vector<PatternRecord> records = {{Pattern({0}), 4, ann}};
+  Result<std::vector<PatternRecord>> restored =
+      ParsePatterns(WritePatterns(records, pipe_dict), &pipe_dict);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, records);
 }
 
 TEST(PatternIo, SkipsCommentsAndBlankLines) {

@@ -99,5 +99,50 @@ TEST(CaseStudyPipeline, EmptyInput) {
   EXPECT_TRUE(CaseStudyPipeline({}).empty());
 }
 
+TEST(FilterByAnnotationFloor, SelectsOnSinkComputedValues) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  SemanticsAnnotations high, low;
+  high.values.push_back({SemanticsMeasure::kIterative, 5});
+  low.values.push_back({SemanticsMeasure::kIterative, 1});
+  std::vector<PatternRecord> records = {
+      {MakePattern(db, "AB"), 3, high},
+      {MakePattern(db, "CD"), 9, low},
+      // Mined without the measure: dropped, never recomputed from the db.
+      {MakePattern(db, "BC"), 7},
+  };
+  std::vector<PatternRecord> kept =
+      FilterByAnnotationFloor(records, SemanticsMeasure::kIterative, 2);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].pattern, MakePattern(db, "AB"));
+  // Floor 0 still requires the annotation to exist.
+  EXPECT_EQ(
+      FilterByAnnotationFloor(records, SemanticsMeasure::kIterative, 0).size(),
+      2u);
+  EXPECT_TRUE(FilterByAnnotationFloor(records,
+                                      SemanticsMeasure::kFixedWindow, 1)
+                  .empty());
+}
+
+TEST(Filters, PreserveAnnotationBlocks) {
+  // Every filter is a record consumer: blocks must ride through untouched.
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABCD"});
+  SemanticsAnnotations ann;
+  ann.values.push_back({SemanticsMeasure::kSequenceCount, 2});
+  std::vector<PatternRecord> records = {{MakePattern(db, "ABC"), 5, ann},
+                                        {MakePattern(db, "DA"), 4, ann}};
+  for (const PatternRecord& r : FilterByDensity(records, 0.4)) {
+    EXPECT_EQ(r.annotations, ann);
+  }
+  for (const PatternRecord& r : FilterMaximal(records)) {
+    EXPECT_EQ(r.annotations, ann);
+  }
+  for (const PatternRecord& r : RankByLength(records)) {
+    EXPECT_EQ(r.annotations, ann);
+  }
+  for (const PatternRecord& r : CaseStudyPipeline(records)) {
+    EXPECT_EQ(r.annotations, ann);
+  }
+}
+
 }  // namespace
 }  // namespace gsgrow

@@ -61,6 +61,26 @@ TEST(ParseInt64, Invalid) {
   EXPECT_FALSE(ParseInt64("1.5", &v));
 }
 
+TEST(ParseUint64, Valid) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("  13 ", &v));
+  EXPECT_EQ(v, 13u);
+  // Full range: saturated counters (UINT64_MAX) must parse.
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64, Invalid) {
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("abc", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // overflow
+}
+
 TEST(ParseDouble, Valid) {
   double v = 0;
   EXPECT_TRUE(ParseDouble("3.25", &v));
