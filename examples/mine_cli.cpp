@@ -21,8 +21,6 @@
 #include <cstdio>
 #include <string>
 
-#include "core/clogsgrow.h"
-#include "core/gsgrow.h"
 #include "core/parallel_engine.h"
 #include "core/semantics_sink.h"
 #include "io/dataset_stats.h"
@@ -30,6 +28,7 @@
 #include "io/spmf_format.h"
 #include "io/text_format.h"
 #include "postprocess/filters.h"
+#include "serve/mining_service.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/table.h"
@@ -63,8 +62,22 @@ int main(int argc, char** argv) {
   SequenceDatabase db = std::move(loaded).value();
   std::printf("%s\n", FormatStatsReport(input, db).c_str());
 
-  // --- Mine. ---
-  MinerOptions options;
+  // --- Mine, through the serving session layer. ---
+  // The CLI and serve_cli share one load + query path (MiningService):
+  // the database is ingested once into the service's incremental index,
+  // and the query runs as a typed MineRequest — exactly what a `mine` line
+  // of the serve protocol executes. Repeated queries (a future --repl, or
+  // serve_cli itself) hit the same index instead of re-parsing and
+  // re-indexing per invocation.
+  MiningService service;
+  Status ingest_status = service.Ingest(db);
+  if (!ingest_status.ok()) {
+    std::fprintf(stderr, "error: %s\n", ingest_status.ToString().c_str());
+    return 1;
+  }
+
+  MineRequest request;
+  MinerOptions& options = request.options;
   options.min_support = static_cast<uint64_t>(flags.GetInt("min_sup", 10));
   const int64_t max_len = flags.GetInt("max_len", 0);
   if (max_len > 0) options.max_pattern_length = static_cast<size_t>(max_len);
@@ -90,20 +103,24 @@ int main(int argc, char** argv) {
   }
 
   const std::string algorithm = flags.GetString("algorithm", "closed");
-  MiningResult result = algorithm == "all"
-                            ? MineAllFrequent(db, options)
-                            : MineClosedFrequent(db, options);
+  request.miner = algorithm == "all" ? MineRequest::Miner::kAll
+                                     : MineRequest::Miner::kClosed;
+  MineResponse response = service.Execute(request);
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
+    return 1;
+  }
   std::printf("%s mining (%zu threads): %llu patterns in %.2f s%s\n",
               algorithm.c_str(), ResolveNumThreads(options.num_threads),
-              static_cast<unsigned long long>(result.stats.patterns_found),
-              result.stats.elapsed_seconds,
-              result.stats.truncated
-                  ? (" [truncated: " + result.stats.truncated_reason + "]")
+              static_cast<unsigned long long>(response.stats.patterns_found),
+              response.stats.elapsed_seconds,
+              response.stats.truncated
+                  ? (" [truncated: " + response.stats.truncated_reason + "]")
                         .c_str()
                   : "");
 
   // --- Post-process. ---
-  std::vector<PatternRecord> patterns = std::move(result.patterns);
+  std::vector<PatternRecord> patterns = std::move(response.patterns);
   const double density = flags.GetDouble("density", 0.0);
   if (density > 0) patterns = FilterByDensity(patterns, density);
   if (flags.GetBool("maximal", false)) patterns = FilterMaximal(patterns);

@@ -1,0 +1,57 @@
+// Serving front-end: a long-lived mining service over stdin/stdout.
+//
+//   serve_cli [--input=db.txt] [--format=text|spmf]
+//
+// Speaks the line-delimited protocol of io/request_io.h (append / extend /
+// mine / topk / batch / run / stats / quit); --input preloads a database
+// through the same MiningService::Ingest path mine_cli uses, after which
+// the corpus keeps growing via append/extend without ever re-indexing from
+// scratch. Pipe a script in to replay a session (the CI serve-smoke step
+// diffs exactly that against a golden transcript), or wrap a socket around
+// it later — the protocol is plain lines in both directions.
+//
+// Exit status: 0 for a clean session, 1 when any command answered with an
+// error, 2 for startup failures.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "io/spmf_format.h"
+#include "io/text_format.h"
+#include "serve/mining_service.h"
+#include "serve/serve_session.h"
+#include "util/flags.h"
+
+using namespace gsgrow;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  MiningService service;
+
+  const std::string input = flags.GetString("input", "");
+  if (!input.empty()) {
+    const std::string format = flags.GetString("format", "text");
+    Result<SequenceDatabase> loaded = format == "spmf"
+                                          ? ReadSpmfDatabaseFile(input)
+                                          : ReadTextDatabaseFile(input);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
+                   loaded.status().ToString().c_str());
+      return 2;
+    }
+    Status st = service.Ingest(*loaded);
+    if (!st.ok()) {
+      std::fprintf(stderr, "error ingesting %s: %s\n", input.c_str(),
+                   st.ToString().c_str());
+      return 2;
+    }
+    const ServiceStats stats = service.Stats();
+    std::fprintf(stderr, "serve_cli: preloaded %zu sequences (%llu events)\n",
+                 stats.num_sequences,
+                 static_cast<unsigned long long>(stats.total_events));
+  }
+
+  const int errors = RunServeSession(service, std::cin, std::cout);
+  return errors == 0 ? 0 : 1;
+}

@@ -67,8 +67,15 @@ uint64_t ExactGapConstrainedSupport(const SequenceDatabase& db,
 MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
                                            const MinerOptions& options,
                                            const LandmarkGapConstraint& gap) {
-  GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
   InvertedIndex index(db);
+  return MineAllFrequentGapConstrained(db, index, options, gap);
+}
+
+MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
+                                           const InvertedIndex& index,
+                                           const MinerOptions& options,
+                                           const LandmarkGapConstraint& gap) {
+  GSGROW_CHECK_MSG(options.min_support >= 1, "min_support must be >= 1");
   // Each worker gets a private BoundedGapExtension (it carries a pattern
   // scratch buffer); db, index, and gap are shared read-only. Annotation:
   // the engine's per-node state is the UNCONSTRAINED leftmost support set,

@@ -66,6 +66,15 @@ MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
                                            const MinerOptions& options,
                                            const LandmarkGapConstraint& gap);
 
+/// Same with a prebuilt index over `db` (the serving path reuses one
+/// long-lived snapshot across queries). `index` must have been built from
+/// exactly `db` — the flow oracle reads the raw sequences, the growth state
+/// reads the index, and they must agree.
+MiningResult MineAllFrequentGapConstrained(const SequenceDatabase& db,
+                                           const InvertedIndex& index,
+                                           const MinerOptions& options,
+                                           const LandmarkGapConstraint& gap);
+
 }  // namespace gsgrow
 
 #endif  // GSGROW_CORE_GAP_CONSTRAINED_H_

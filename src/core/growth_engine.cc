@@ -236,10 +236,16 @@ void ClosurePruning::BuildNodeTables(const GrowthNode& node) {
   }
   restricted_built_ = 0;
   // Candidate events, shared by every (gap, candidate) scan of this node.
+  // Closure is checked against extensions WITHIN the restricted alphabet
+  // (when one is set), matching the projection semantics of the root
+  // filter: an out-of-alphabet equal-support extension must not declare an
+  // in-alphabet pattern non-closed.
   candidates_.clear();
   if (!options_->use_insert_candidate_filter) {
     for (EventId e : index.present_events()) {
-      if (index.TotalCount(e) >= support) candidates_.push_back(e);
+      if (index.TotalCount(e) >= support && AlphabetAllows(*options_, e)) {
+        candidates_.push_back(e);
+      }
     }
     return;
   }
@@ -247,6 +253,7 @@ void ClosurePruning::BuildNodeTables(const GrowthNode& node) {
   // per-sequence-count condition (DESIGN.md §1) against the rest.
   const auto& [first_seq, first_need] = seq_counts_.front();
   for (EventId e : index.EventsInSequence(first_seq)) {
+    if (!AlphabetAllows(*options_, e)) continue;
     if (index.Count(first_seq, e) < first_need) continue;
     bool ok = true;
     for (size_t i = 1; i < seq_counts_.size(); ++i) {
@@ -444,7 +451,9 @@ std::vector<EventId> ClosurePruning::InsertCandidates(
   if (!options_->use_insert_candidate_filter) {
     std::vector<EventId> all;
     for (EventId e : index.present_events()) {
-      if (index.TotalCount(e) >= support) all.push_back(e);
+      if (index.TotalCount(e) >= support && AlphabetAllows(*options_, e)) {
+        all.push_back(e);
+      }
     }
     return all;
   }
@@ -461,6 +470,7 @@ std::vector<EventId> ClosurePruning::InsertCandidates(
   std::vector<EventId> out;
   const auto& [first_seq, first_need] = seq_counts_.front();
   for (EventId e : index.EventsInSequence(first_seq)) {
+    if (!AlphabetAllows(*options_, e)) continue;
     if (index.Count(first_seq, e) < first_need) continue;
     bool ok = true;
     for (size_t i = 1; i < seq_counts_.size(); ++i) {

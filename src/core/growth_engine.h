@@ -509,8 +509,16 @@ class GrowthEngine {
     SharedRunState owned_state(options_);
     state_ = shared_ != nullptr ? shared_ : &owned_state;
     run_ = RunContext(state_);
-    const std::vector<EventId> roots =
-        extension_.FrequentRoots(options_.min_support);
+    std::vector<EventId> roots = extension_.FrequentRoots(options_.min_support);
+    // Event-alphabet restriction (projection semantics, miner_options.h):
+    // filtering the ROOT list confines the whole DFS to the sub-alphabet —
+    // append candidates are always drawn from it (directly, or via
+    // candidate-list inheritance, which only ever narrows). Every worker
+    // computes the same filtered list, so sharded runs stay deterministic.
+    if (!options_.restrict_alphabet.empty()) {
+      std::erase_if(roots,
+                    [&](EventId e) { return !AlphabetAllows(options_, e); });
+    }
     for (size_t i = state_->next_root.fetch_add(1, std::memory_order_relaxed);
          i < roots.size();
          i = state_->next_root.fetch_add(1, std::memory_order_relaxed)) {

@@ -1,6 +1,8 @@
 #include "core/inverted_index.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -8,13 +10,13 @@ namespace gsgrow {
 
 InvertedIndex::InvertedIndex(const SequenceDatabase& db) {
   alphabet_size_ = db.AlphabetSize();
-  total_counts_.assign(alphabet_size_, 0);
-  postings_.resize(alphabet_size_);
+  std::vector<std::shared_ptr<EventPostings>> postings(alphabet_size_);
   seq_blocks_.resize(db.size());
 
   for (SeqId i = 0; i < db.size(); ++i) {
     const Sequence& s = db[i];
-    SeqBlock& block = seq_blocks_[i];
+    if (s.empty()) continue;
+    auto block = std::make_shared<SeqBlock>();
     // Count occurrences per event in this sequence.
     // Sequences are typically short relative to the alphabet, so collect the
     // events actually present instead of scanning the whole alphabet.
@@ -27,26 +29,32 @@ InvertedIndex::InvertedIndex(const SequenceDatabase& db) {
                      [](const auto& a, const auto& b) {
                        return a.first < b.first;
                      });
-    block.positions.reserve(occ.size());
+    block->positions.reserve(occ.size());
     for (size_t k = 0; k < occ.size(); ++k) {
       if (k == 0 || occ[k].first != occ[k - 1].first) {
-        block.events.push_back(occ[k].first);
-        block.offsets.push_back(static_cast<uint32_t>(block.positions.size()));
+        block->events.push_back(occ[k].first);
+        block->offsets.push_back(
+            static_cast<uint32_t>(block->positions.size()));
       }
-      block.positions.push_back(occ[k].second);
+      block->positions.push_back(occ[k].second);
     }
-    block.offsets.push_back(static_cast<uint32_t>(block.positions.size()));
+    block->offsets.push_back(static_cast<uint32_t>(block->positions.size()));
 
-    for (size_t k = 0; k < block.events.size(); ++k) {
-      const EventId e = block.events[k];
-      const uint32_t count = block.offsets[k + 1] - block.offsets[k];
-      postings_[e].push_back(Posting{i, count});
-      total_counts_[e] += count;
+    for (size_t k = 0; k < block->events.size(); ++k) {
+      const EventId e = block->events[k];
+      const uint32_t count = block->offsets[k + 1] - block->offsets[k];
+      if (postings[e] == nullptr) {
+        postings[e] = std::make_shared<EventPostings>();
+      }
+      postings[e]->postings.push_back(Posting{i, count});
+      postings[e]->total += count;
     }
+    seq_blocks_[i] = std::move(block);
   }
 
+  postings_.assign(postings.begin(), postings.end());
   for (EventId e = 0; e < alphabet_size_; ++e) {
-    if (total_counts_[e] > 0) present_events_.push_back(e);
+    if (TotalCount(e) > 0) present_events_.push_back(e);
   }
 }
 
@@ -58,11 +66,12 @@ int InvertedIndex::FindEventSlot(const SeqBlock& block, EventId e) {
 
 std::span<const Position> InvertedIndex::Positions(SeqId i, EventId e) const {
   GSGROW_DCHECK(i < seq_blocks_.size());
-  const SeqBlock& block = seq_blocks_[i];
-  int slot = FindEventSlot(block, e);
+  const SeqBlock* block = seq_blocks_[i].get();
+  if (block == nullptr) return {};
+  int slot = FindEventSlot(*block, e);
   if (slot < 0) return {};
-  return {block.positions.data() + block.offsets[slot],
-          block.positions.data() + block.offsets[slot + 1]};
+  return {block->positions.data() + block->offsets[slot],
+          block->positions.data() + block->offsets[slot + 1]};
 }
 
 Position InvertedIndex::NextAtOrAfter(SeqId i, EventId e,
@@ -77,18 +86,21 @@ uint32_t InvertedIndex::Count(SeqId i, EventId e) const {
 }
 
 uint64_t InvertedIndex::TotalCount(EventId e) const {
-  return e < total_counts_.size() ? total_counts_[e] : 0;
+  if (e >= postings_.size() || postings_[e] == nullptr) return 0;
+  return postings_[e]->total;
 }
 
 std::span<const InvertedIndex::Posting> InvertedIndex::Postings(
     EventId e) const {
-  if (e >= postings_.size()) return {};
-  return postings_[e];
+  if (e >= postings_.size() || postings_[e] == nullptr) return {};
+  return postings_[e]->postings;
 }
 
 std::span<const EventId> InvertedIndex::EventsInSequence(SeqId i) const {
   GSGROW_DCHECK(i < seq_blocks_.size());
-  return seq_blocks_[i].events;
+  const SeqBlock* block = seq_blocks_[i].get();
+  if (block == nullptr) return {};
+  return block->events;
 }
 
 }  // namespace gsgrow

@@ -15,11 +15,19 @@
 // concatenated position lists). Additionally a per-event postings list of
 // (sequence, count) pairs supports root instance-set construction and the
 // insert-candidate filter of CloGSgrow.
+//
+// Blocks and postings are held through shared_ptr so an InvertedIndex can
+// be either a self-contained batch build (the classic constructor) or a
+// SNAPSHOT assembled by serve/IncrementalInvertedIndex, which shares the
+// frozen blocks of sequences that have not changed since the previous
+// snapshot (DESIGN.md §8). Either way the object is immutable and safe to
+// read from any number of threads.
 
 #ifndef GSGROW_CORE_INVERTED_INDEX_H_
 #define GSGROW_CORE_INVERTED_INDEX_H_
 
 #include <algorithm>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -83,9 +91,50 @@ class InvertedIndex {
   struct Posting {
     SeqId seq;
     uint32_t count;
+
+    friend bool operator==(const Posting& a, const Posting& b) = default;
   };
 
+  /// Per-sequence CSR block: sorted distinct events, offsets into the
+  /// concatenated position lists. Immutable once published; snapshots of an
+  /// incremental index share blocks across epochs.
+  struct SeqBlock {
+    /// Sorted distinct events of this sequence.
+    std::vector<EventId> events;
+    /// offsets[k] .. offsets[k+1] delimit positions of events[k] in
+    /// `positions`.
+    std::vector<uint32_t> offsets;
+    std::vector<Position> positions;
+  };
+
+  /// Per-event postings: (sequence, count) pairs ascending by sequence plus
+  /// the database-wide occurrence total.
+  struct EventPostings {
+    std::vector<Posting> postings;
+    uint64_t total = 0;
+  };
+
+  /// An empty index (no sequences, empty alphabet) — the value a snapshot
+  /// handle holds before its first assignment.
+  InvertedIndex() = default;
+
   explicit InvertedIndex(const SequenceDatabase& db);
+
+  /// Snapshot-assembly constructor (serve/incremental_index.h): adopts
+  /// already-frozen blocks and postings. Entries may be null only when the
+  /// corresponding sequence is empty / the event is absent; `present_events`
+  /// must list the events with a positive total, ascending. Content must
+  /// satisfy the same invariants the batch constructor establishes (events
+  /// and positions ascending, postings ascending by sequence) — the
+  /// differential suite in tests/serve pins snapshot output to the batch
+  /// build bit for bit.
+  InvertedIndex(std::vector<std::shared_ptr<const SeqBlock>> seq_blocks,
+                std::vector<std::shared_ptr<const EventPostings>> postings,
+                std::vector<EventId> present_events, EventId alphabet_size)
+      : seq_blocks_(std::move(seq_blocks)),
+        postings_(std::move(postings)),
+        present_events_(std::move(present_events)),
+        alphabet_size_(alphabet_size) {}
 
   /// Sorted positions of `e` in sequence `i` (possibly empty).
   std::span<const Position> Positions(SeqId i, EventId e) const;
@@ -124,28 +173,23 @@ class InvertedIndex {
   /// event, so the length equals the total position count of the sequence's
   /// CSR block — the index answers it without the database.
   Position SequenceLength(SeqId i) const {
-    return static_cast<Position>(seq_blocks_[i].positions.size());
+    const SeqBlock* block = seq_blocks_[i].get();
+    return block == nullptr ? 0
+                            : static_cast<Position>(block->positions.size());
   }
 
   /// Events with TotalCount(e) > 0, ascending.
   const std::vector<EventId>& present_events() const { return present_events_; }
 
  private:
-  struct SeqBlock {
-    // Sorted distinct events of this sequence.
-    std::vector<EventId> events;
-    // offsets[k] .. offsets[k+1] delimit positions of events[k] in
-    // `positions`.
-    std::vector<uint32_t> offsets;
-    std::vector<Position> positions;
-  };
-
   // Index of `e` within block.events, or -1.
   static int FindEventSlot(const SeqBlock& block, EventId e);
 
-  std::vector<SeqBlock> seq_blocks_;
-  std::vector<std::vector<Posting>> postings_;  // indexed by event
-  std::vector<uint64_t> total_counts_;          // indexed by event
+  // Indexed by sequence / event. Null entries stand for an empty sequence /
+  // an absent event (snapshots avoid allocating blocks for them; the batch
+  // constructor allocates every block it fills).
+  std::vector<std::shared_ptr<const SeqBlock>> seq_blocks_;
+  std::vector<std::shared_ptr<const EventPostings>> postings_;
   std::vector<EventId> present_events_;
   EventId alphabet_size_ = 0;
 };

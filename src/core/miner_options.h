@@ -3,9 +3,13 @@
 #ifndef GSGROW_CORE_MINER_OPTIONS_H_
 #define GSGROW_CORE_MINER_OPTIONS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
+
+#include "core/types.h"
 
 namespace gsgrow {
 
@@ -99,6 +103,19 @@ struct MinerOptions {
   /// and discarded (bench harnesses time the annotation layer this way).
   SemanticsOptions semantics;
 
+  /// When non-empty: restrict mining to patterns over this event subset
+  /// (sorted ascending, deduplicated). Gapped-subsequence support depends
+  /// only on the positions of the pattern's own events, so the mined
+  /// supports equal those of the unrestricted database; for the closed
+  /// miner, insert/prepend/append closure candidates are restricted too, so
+  /// "closed" means closed within the sub-alphabet — exactly the output of
+  /// mining the database with all other events deleted (projection
+  /// semantics; tests/serve/mining_service_test.cc pins the equivalence).
+  /// Semantics annotations are still measured on the REAL sequences: window
+  /// and gap measures see the unprojected positions, which is what a
+  /// serving-side "only show me patterns over these events" query wants.
+  std::vector<EventId> restrict_alphabet;
+
   /// Pass the parent's frequent-extension event list down the DFS instead of
   /// retrying the whole alphabet at every node (sound by the Apriori
   /// property; the paper's "maintain a list of possible events", §III-D).
@@ -127,6 +144,23 @@ struct MinerOptions {
   /// DFS shape (nodes_visited) — is identical either way.
   bool use_memoized_closure = true;
 };
+
+/// True when the restriction list admits `e` (empty list allows
+/// everything). The list is sorted, so membership is a binary search —
+/// cheap enough for the closure-check candidate loops, and free (one
+/// empty() test) when no restriction is active. This is the ONE definition
+/// of restriction membership; every holder of a restrict_alphabet
+/// (MinerOptions, TopKOptions) routes through it.
+inline bool AlphabetAllows(const std::vector<EventId>& restrict_alphabet,
+                           EventId e) {
+  return restrict_alphabet.empty() ||
+         std::binary_search(restrict_alphabet.begin(),
+                            restrict_alphabet.end(), e);
+}
+
+inline bool AlphabetAllows(const MinerOptions& options, EventId e) {
+  return AlphabetAllows(options.restrict_alphabet, e);
+}
 
 }  // namespace gsgrow
 

@@ -14,12 +14,21 @@ namespace gsgrow {
 
 std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
                                           const TopKOptions& options) {
+  InvertedIndex index(db);
+  return std::move(MineTopKClosed(index, options).patterns);
+}
+
+MiningResult MineTopKClosed(const InvertedIndex& index,
+                            const TopKOptions& options) {
   GSGROW_CHECK_MSG(options.k >= 1, "k must be >= 1");
   TimeBudget budget(options.time_budget_seconds);
-  InvertedIndex index(db);
 
+  // The descent starts from the highest single-event support among the
+  // events that may actually appear in a result (restriction applied);
+  // starting higher would only add empty descent steps.
   uint64_t threshold = 0;
   for (EventId e : index.present_events()) {
+    if (!AlphabetAllows(options.restrict_alphabet, e)) continue;
     threshold = std::max(threshold, index.TotalCount(e));
   }
   if (threshold == 0) return {};
@@ -34,6 +43,7 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
     miner_options.max_pattern_length = options.max_pattern_length;
     miner_options.num_threads = options.num_threads;
     miner_options.semantics = options.semantics;
+    miner_options.restrict_alphabet = options.restrict_alphabet;
     if (!budget.IsUnlimited()) {
       miner_options.time_budget_seconds =
           std::max(0.0, budget.LimitSeconds() - budget.ElapsedSeconds());
@@ -71,7 +81,15 @@ std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
         result.stats.truncated || (!budget.IsUnlimited() && budget.Expired());
     if (result.patterns.size() >= options.k || threshold == 1 ||
         out_of_budget) {
-      return std::move(result.patterns);
+      // A budget stop anywhere in the descent leaves a possibly partial
+      // top-K; report it as truncated even when the expiry landed between
+      // engine runs (the last run's own flag would miss that case).
+      if (out_of_budget && !result.stats.truncated) {
+        result.stats.truncated = true;
+        result.stats.truncated_reason = "time_budget";
+      }
+      result.stats.patterns_found = result.patterns.size();
+      return result;
     }
     threshold = std::max<uint64_t>(1, threshold / 2);
   }

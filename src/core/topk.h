@@ -18,6 +18,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/inverted_index.h"
 #include "core/miner_options.h"
 #include "core/mining_result.h"
 #include "core/sequence_database.h"
@@ -45,6 +46,10 @@ struct TopKOptions {
   /// the annotation work (TopKSink::WouldKeep), so the cost scales with the
   /// kept set, not the explored one. Never changes WHICH patterns win.
   SemanticsOptions semantics;
+
+  /// When non-empty: only patterns over this event subset compete (sorted
+  /// ascending; MinerOptions::restrict_alphabet projection semantics).
+  std::vector<EventId> restrict_alphabet;
 };
 
 /// The K closed patterns (length >= min_length) with the highest repetitive
@@ -53,6 +58,15 @@ struct TopKOptions {
 /// budget expires.
 std::vector<PatternRecord> MineTopKClosed(const SequenceDatabase& db,
                                           const TopKOptions& options);
+
+/// Same over a prebuilt index: the serving path (serve/mining_service.h)
+/// answers many top-K queries against one long-lived snapshot without
+/// re-indexing per query. Returns the full MiningResult — when the budget
+/// expires mid-descent the returned set may be a partial answer, and
+/// stats.truncated says so (the db overload, like the other facades'
+/// convenience forms, keeps its historical patterns-only shape).
+MiningResult MineTopKClosed(const InvertedIndex& index,
+                            const TopKOptions& options);
 
 }  // namespace gsgrow
 

@@ -7,17 +7,22 @@
 
 namespace gsgrow {
 
+void AppendPatternLine(const PatternRecord& record,
+                       const EventDictionary& dictionary, std::string* out) {
+  *out += std::to_string(record.support);
+  out->push_back('\t');
+  *out += record.pattern.ToString(dictionary);
+  if (!record.annotations.empty()) {
+    *out += "\t|\t";
+    *out += AnnotationsToString(record.annotations);
+  }
+}
+
 std::string WritePatterns(const std::vector<PatternRecord>& records,
                           const EventDictionary& dictionary) {
   std::string out = "# support\tpattern\n";
   for (const PatternRecord& r : records) {
-    out += std::to_string(r.support);
-    out.push_back('\t');
-    out += r.pattern.ToString(dictionary);
-    if (!r.annotations.empty()) {
-      out += "\t|\t";
-      out += AnnotationsToString(r.annotations);
-    }
+    AppendPatternLine(r, dictionary, &out);
     out.push_back('\n');
   }
   return out;

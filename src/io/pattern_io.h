@@ -29,6 +29,14 @@
 
 namespace gsgrow {
 
+/// Appends one record as a pattern line (no trailing newline):
+/// "support<TAB>event names[<TAB>|<TAB>annotations]". This is the one
+/// definition of the line shape — WritePatterns and the serve protocol
+/// (io/request_io.h) both emit it, so files and server responses stay
+/// mutually parseable.
+void AppendPatternLine(const PatternRecord& record,
+                       const EventDictionary& dictionary, std::string* out);
+
 /// Serializes records using `dictionary` for event names.
 std::string WritePatterns(const std::vector<PatternRecord>& records,
                           const EventDictionary& dictionary);

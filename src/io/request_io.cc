@@ -1,0 +1,206 @@
+#include "io/request_io.h"
+
+#include <limits>
+
+#include "core/semantics_sink.h"
+#include "io/pattern_io.h"
+#include "util/string_util.h"
+
+namespace gsgrow {
+
+namespace {
+
+Status BadArg(std::string_view verb, const std::string& token,
+              std::string_view expected) {
+  return Status::InvalidArgument(std::string(verb) + ": bad argument '" +
+                                 token + "' (" + std::string(expected) + ")");
+}
+
+// Parses the key=value arguments shared by mine and topk into
+// `command->request` / `command->limit`. `verb` names the command in
+// errors; keys not in `allow` are rejected so typos fail loudly instead of
+// silently mining with defaults.
+Status ParseQueryArgs(std::string_view verb,
+                      const std::vector<std::string>& tokens, size_t first,
+                      std::string_view allow, ServeCommand* command) {
+  MineRequest& request = command->request;
+  for (size_t i = first; i < tokens.size(); ++i) {
+    const std::vector<std::string> kv = Split(tokens[i], "=");
+    // semantics specs contain '=' themselves (window:w=10) — re-join.
+    const std::string key = kv.empty() ? "" : kv[0];
+    const std::string value =
+        tokens[i].size() > key.size() + 1 ? tokens[i].substr(key.size() + 1)
+                                          : "";
+    if (allow.find("," + key + ",") == std::string_view::npos) {
+      return BadArg(verb, tokens[i],
+                    "accepted keys: " + std::string(allow.substr(1)));
+    }
+    uint64_t n = 0;
+    double d = 0.0;
+    if (key == "algo") {
+      if (value == "closed") {
+        request.miner = MineRequest::Miner::kClosed;
+      } else if (value == "all") {
+        request.miner = MineRequest::Miner::kAll;
+      } else if (value == "gap") {
+        request.miner = MineRequest::Miner::kGapConstrained;
+      } else {
+        return BadArg(verb, tokens[i], "algo=closed|all|gap");
+      }
+    } else if (key == "min_sup") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "min_sup=N");
+      request.options.min_support = n;
+    } else if (key == "max_len") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "max_len=N");
+      request.options.max_pattern_length = static_cast<size_t>(n);
+    } else if (key == "budget") {
+      if (!ParseDouble(value, &d) || d <= 0) {
+        return BadArg(verb, tokens[i], "budget=SECONDS");
+      }
+      request.options.time_budget_seconds = d;
+    } else if (key == "threads") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "threads=N");
+      request.options.num_threads = static_cast<size_t>(n);
+    } else if (key == "semantics") {
+      Result<SemanticsOptions> parsed = ParseSemanticsSpec(value);
+      if (!parsed.ok()) return parsed.status();
+      request.options.semantics = *parsed;
+    } else if (key == "events") {
+      request.event_filter = Split(value, ",");
+      if (request.event_filter.empty()) {
+        return BadArg(verb, tokens[i], "events=name[,name...]");
+      }
+    } else if (key == "min_gap") {
+      if (!ParseUint64(value, &n) || n > std::numeric_limits<uint32_t>::max()) {
+        return BadArg(verb, tokens[i], "min_gap=N");
+      }
+      request.gap.min_gap = static_cast<uint32_t>(n);
+    } else if (key == "max_gap") {
+      if (!ParseUint64(value, &n) || n > std::numeric_limits<uint32_t>::max()) {
+        return BadArg(verb, tokens[i], "max_gap=N");
+      }
+      request.gap.max_gap = static_cast<uint32_t>(n);
+    } else if (key == "limit") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "limit=N");
+      command->limit = static_cast<size_t>(n);
+    } else if (key == "k") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "k=N");
+      request.k = static_cast<size_t>(n);
+    } else if (key == "min_len") {
+      if (!ParseUint64(value, &n)) return BadArg(verb, tokens[i], "min_len=N");
+      request.min_length = static_cast<size_t>(n);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServeCommand> ParseServeCommand(std::string_view line) {
+  const std::vector<std::string> tokens = Split(line, " \t");
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty command");
+  }
+  ServeCommand command;
+  const std::string& verb = tokens[0];
+  if (verb == "append") {
+    command.verb = ServeCommand::Verb::kAppend;
+    command.events.assign(tokens.begin() + 1, tokens.end());
+    return command;
+  }
+  if (verb == "extend") {
+    command.verb = ServeCommand::Verb::kExtend;
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument("extend: expected 'extend <seq> event...'");
+    }
+    uint64_t seq = 0;
+    if (!ParseUint64(tokens[1], &seq) ||
+        seq >= static_cast<uint64_t>(kNoPosition)) {
+      return Status::InvalidArgument("extend: bad sequence id '" + tokens[1] +
+                                     "'");
+    }
+    command.seq = static_cast<SeqId>(seq);
+    command.events.assign(tokens.begin() + 2, tokens.end());
+    return command;
+  }
+  if (verb == "mine") {
+    command.verb = ServeCommand::Verb::kMine;
+    Status st = ParseQueryArgs(
+        "mine", tokens, 1,
+        ",algo,min_sup,max_len,budget,threads,semantics,events,"
+        "min_gap,max_gap,limit,",
+        &command);
+    if (!st.ok()) return st;
+    return command;
+  }
+  if (verb == "topk") {
+    command.verb = ServeCommand::Verb::kTopK;
+    command.request.miner = MineRequest::Miner::kTopK;
+    Status st = ParseQueryArgs(
+        "topk", tokens, 1,
+        ",k,min_len,max_len,budget,threads,semantics,events,limit,", &command);
+    if (!st.ok()) return st;
+    return command;
+  }
+  if (verb == "batch") {
+    command.verb = ServeCommand::Verb::kBatch;
+    return command;
+  }
+  if (verb == "run") {
+    command.verb = ServeCommand::Verb::kRun;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      const std::vector<std::string> kv = Split(tokens[i], "=");
+      uint64_t n = 0;
+      if (kv.size() == 2 && kv[0] == "threads" && ParseUint64(kv[1], &n)) {
+        command.run_threads = static_cast<size_t>(n);
+      } else {
+        return BadArg("run", tokens[i], "threads=N");
+      }
+    }
+    return command;
+  }
+  if (verb == "stats") {
+    command.verb = ServeCommand::Verb::kStats;
+    return command;
+  }
+  if (verb == "quit" || verb == "exit") {
+    command.verb = ServeCommand::Verb::kQuit;
+    return command;
+  }
+  return Status::InvalidArgument(
+      "unknown verb '" + verb +
+      "' (append, extend, mine, topk, batch, run, stats, quit)");
+}
+
+std::string FormatMineResponse(const MineResponse& response,
+                               const EventDictionary& dictionary,
+                               size_t limit) {
+  if (!response.status.ok()) {
+    return "error " + response.status.ToString() + "\n";
+  }
+  std::string out = "result patterns=" +
+                    std::to_string(response.patterns.size()) +
+                    " epoch=" + std::to_string(response.epoch);
+  if (response.stats.truncated) {
+    out += " truncated=";
+    out += response.stats.truncated_reason;
+  }
+  out.push_back('\n');
+  const size_t n = std::min(limit, response.patterns.size());
+  for (size_t i = 0; i < n; ++i) {
+    AppendPatternLine(response.patterns[i], dictionary, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string FormatServiceStats(const ServiceStats& stats) {
+  return "stats sequences=" + std::to_string(stats.num_sequences) +
+         " alphabet=" + std::to_string(stats.alphabet_size) +
+         " events=" + std::to_string(stats.total_events) +
+         " epoch=" + std::to_string(stats.epoch) +
+         " appends=" + std::to_string(stats.appends) +
+         " queries=" + std::to_string(stats.queries);
+}
+
+}  // namespace gsgrow

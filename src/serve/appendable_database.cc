@@ -1,0 +1,68 @@
+#include "serve/appendable_database.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gsgrow {
+
+namespace {
+
+SeqId AddOrCheckSequenceCapacity(size_t current) {
+  GSGROW_CHECK_MSG(current < static_cast<size_t>(kNoPosition),
+                   "sequence id space exhausted");
+  return static_cast<SeqId>(current);
+}
+
+}  // namespace
+
+SeqId AppendableDatabase::AddSequence(std::span<const EventId> events) {
+  const SeqId seq = AddOrCheckSequenceCapacity(sequences_.size());
+  sequences_.emplace_back(events.begin(), events.end());
+  total_events_ += events.size();
+  cached_.reset();
+  return seq;
+}
+
+void AppendableDatabase::AppendToSequence(SeqId seq,
+                                          std::span<const EventId> events) {
+  GSGROW_CHECK_MSG(seq < sequences_.size(), "append to unknown sequence");
+  std::vector<EventId>& target = sequences_[seq];
+  GSGROW_CHECK_MSG(target.size() + events.size() <=
+                       static_cast<size_t>(kNoPosition),
+                   "sequence position space exhausted");
+  target.insert(target.end(), events.begin(), events.end());
+  total_events_ += events.size();
+  cached_.reset();
+}
+
+void AppendableDatabase::Ingest(const SequenceDatabase& db) {
+  GSGROW_CHECK_MSG(sequences_.empty() && dictionary_.size() == 0,
+                   "Ingest requires an empty store (ids are preserved)");
+  sequences_.reserve(db.size());
+  for (const Sequence& s : db.sequences()) {
+    sequences_.push_back(s.events());
+    total_events_ += s.length();
+  }
+  dictionary_ = db.dictionary();
+  cached_.reset();
+}
+
+Position AppendableDatabase::SequenceLength(SeqId seq) const {
+  GSGROW_CHECK_MSG(seq < sequences_.size(), "unknown sequence");
+  return static_cast<Position>(sequences_[seq].size());
+}
+
+std::shared_ptr<const SequenceDatabase> AppendableDatabase::SnapshotDatabase() {
+  if (cached_ != nullptr) return cached_;
+  std::vector<Sequence> copies;
+  copies.reserve(sequences_.size());
+  for (const std::vector<EventId>& events : sequences_) {
+    copies.emplace_back(events);
+  }
+  cached_ = std::make_shared<const SequenceDatabase>(std::move(copies),
+                                                     dictionary_);
+  return cached_;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,81 @@
+// Appendable sequence store for the serving subsystem (DESIGN.md §8).
+//
+// SequenceDatabase is immutable after construction; a long-lived mining
+// service needs to accept new sequences — and appends to existing ones —
+// from a live event stream. AppendableDatabase is the writer-side store:
+// growable per-sequence event buffers plus the shared EventDictionary, with
+// a copy-on-write snapshot that materializes an immutable SequenceDatabase
+// on demand and caches it until the next mutation. Consumers that only need
+// index queries never touch it (IncrementalInvertedIndex snapshots answer
+// those); the database snapshot exists for the paths that read raw
+// sequences — the gap-constrained flow oracle and response formatting
+// (event names).
+//
+// Threading contract: single writer, externally synchronized. All mutating
+// calls and SnapshotDatabase() must be serialized by the caller
+// (MiningService holds the mutex); the returned snapshot is immutable and
+// may be read concurrently with later appends.
+
+#ifndef GSGROW_SERVE_APPENDABLE_DATABASE_H_
+#define GSGROW_SERVE_APPENDABLE_DATABASE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event_dictionary.h"
+#include "core/sequence_database.h"
+#include "core/types.h"
+
+namespace gsgrow {
+
+class AppendableDatabase {
+ public:
+  AppendableDatabase() = default;
+
+  /// Appends a new sequence of raw event ids; returns its SeqId. Name
+  /// resolution lives one layer up: MiningService interns names once and
+  /// feeds the same id vector to this store AND the incremental index, so
+  /// there is exactly one interning path.
+  SeqId AddSequence(std::span<const EventId> events);
+
+  /// Appends events to the END of an existing sequence. `seq` must be a
+  /// valid id returned by an earlier AddSequence.
+  void AppendToSequence(SeqId seq, std::span<const EventId> events);
+
+  /// Bulk ingestion: every sequence of `db` is appended (ids preserved
+  /// relative to the current size); its dictionary must be empty or equal
+  /// to ours — in practice this is called once, on an empty store, to give
+  /// the service the same load path as batch tools (mine_cli).
+  void Ingest(const SequenceDatabase& db);
+
+  /// Writer-side dictionary (interning new event names).
+  EventDictionary& dictionary() { return dictionary_; }
+  const EventDictionary& dictionary() const { return dictionary_; }
+
+  size_t size() const { return sequences_.size(); }
+  size_t total_events() const { return total_events_; }
+
+  /// Current length of sequence `seq`.
+  Position SequenceLength(SeqId seq) const;
+
+  /// Immutable database reflecting every append so far. Copy-on-write at
+  /// store granularity: returns the cached snapshot when nothing changed
+  /// since the last call, otherwise materializes a fresh SequenceDatabase
+  /// (O(total events) copy — see the DESIGN.md §8 cost model; only the
+  /// gap-constrained oracle and name resolution need it, index-only mining
+  /// rides the O(delta) IncrementalInvertedIndex snapshots instead).
+  std::shared_ptr<const SequenceDatabase> SnapshotDatabase();
+
+ private:
+  std::vector<std::vector<EventId>> sequences_;
+  EventDictionary dictionary_;
+  size_t total_events_ = 0;
+  // Cached immutable snapshot; invalidated (reset) by every mutation.
+  std::shared_ptr<const SequenceDatabase> cached_;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SERVE_APPENDABLE_DATABASE_H_

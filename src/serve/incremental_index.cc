@@ -1,0 +1,149 @@
+#include "serve/incremental_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gsgrow {
+
+SeqId IncrementalInvertedIndex::AddSequence(std::span<const EventId> events) {
+  GSGROW_CHECK_MSG(seqs_.size() < static_cast<size_t>(kNoPosition),
+                   "sequence id space exhausted");
+  const SeqId seq = static_cast<SeqId>(seqs_.size());
+  seqs_.emplace_back();
+  changed_ = true;
+  AppendToSequence(seq, events);
+  return seq;
+}
+
+void IncrementalInvertedIndex::AppendToSequence(
+    SeqId seq, std::span<const EventId> events) {
+  GSGROW_CHECK_MSG(seq < seqs_.size(), "append to unknown sequence");
+  GSGROW_CHECK_MSG(seqs_[seq].length + events.size() <=
+                       static_cast<size_t>(kNoPosition),
+                   "sequence position space exhausted");
+  if (!events.empty()) changed_ = true;
+  for (const EventId e : events) {
+    GSGROW_CHECK_MSG(e != kNoEvent, "reserved event id");
+    const Position p = seqs_[seq].length;
+    Record(seq, e, p);
+    seqs_[seq].length = p + 1;
+    ++total_events_;
+  }
+}
+
+void IncrementalInvertedIndex::Record(SeqId seq, EventId e, Position p) {
+  // --- Sequence side: event slot search + position push_back. ---
+  SeqAccum& sa = seqs_[seq];
+  const auto slot_it = std::lower_bound(sa.events.begin(), sa.events.end(), e);
+  const size_t slot = static_cast<size_t>(slot_it - sa.events.begin());
+  if (slot_it == sa.events.end() || *slot_it != e) {
+    sa.events.insert(slot_it, e);
+    sa.positions.emplace(sa.positions.begin() + slot);
+  }
+  // Appends arrive in increasing position order, so each per-event list
+  // stays sorted without any sort at freeze time.
+  sa.positions[slot].push_back(p);
+  if (!sa.dirty) {
+    sa.dirty = true;
+    dirty_seqs_.push_back(seq);
+  }
+
+  // --- Event side: postings patch (counts ascend by sequence). ---
+  if (e >= events_.size()) {
+    events_.resize(static_cast<size_t>(e) + 1);
+    present_dirty_ = true;  // a new event id extends the present list
+  }
+  EventAccum& ea = events_[e];
+  if (ea.total == 0) present_dirty_ = true;  // first occurrence ever
+  if (ea.postings.empty() || ea.postings.back().seq < seq) {
+    ea.postings.push_back(InvertedIndex::Posting{seq, 1});
+  } else {
+    // An append to an OLD sequence can introduce the event mid-list; the
+    // insert is O(list length) and is charged to the (rare) first
+    // occurrence of an event in an old sequence — subsequent occurrences
+    // hit the count++ branch (DESIGN.md §8 cost model).
+    const auto it = std::lower_bound(
+        ea.postings.begin(), ea.postings.end(), seq,
+        [](const InvertedIndex::Posting& a, SeqId s) { return a.seq < s; });
+    if (it != ea.postings.end() && it->seq == seq) {
+      ++it->count;
+    } else {
+      ea.postings.insert(it, InvertedIndex::Posting{seq, 1});
+    }
+  }
+  ++ea.total;
+  if (!ea.dirty) {
+    ea.dirty = true;
+    dirty_events_.push_back(e);
+  }
+}
+
+Position IncrementalInvertedIndex::SequenceLength(SeqId seq) const {
+  GSGROW_CHECK_MSG(seq < seqs_.size(), "unknown sequence");
+  return seqs_[seq].length;
+}
+
+InvertedIndex IncrementalInvertedIndex::Snapshot() {
+  // Epoch = data version: a snapshot with nothing new to observe reuses the
+  // previous epoch (the view assembled below is identical either way).
+  if (changed_ || epoch_ == 0) {
+    ++epoch_;
+    changed_ = false;
+  }
+  // Freeze the delta: one CSR rebuild per dirty sequence, one postings copy
+  // per dirty event. Clean accumulators keep their published block — shared
+  // with every earlier snapshot that references it.
+  for (const SeqId seq : dirty_seqs_) {
+    SeqAccum& sa = seqs_[seq];
+    if (sa.length == 0) {
+      sa.frozen = nullptr;  // matches the batch build: no block allocated
+    } else {
+      auto block = std::make_shared<InvertedIndex::SeqBlock>();
+      block->events = sa.events;
+      block->offsets.reserve(sa.events.size() + 1);
+      block->positions.reserve(sa.length);
+      for (const std::vector<Position>& list : sa.positions) {
+        block->offsets.push_back(
+            static_cast<uint32_t>(block->positions.size()));
+        block->positions.insert(block->positions.end(), list.begin(),
+                                list.end());
+      }
+      block->offsets.push_back(static_cast<uint32_t>(block->positions.size()));
+      sa.frozen = std::move(block);
+    }
+    sa.dirty = false;
+  }
+  dirty_seqs_.clear();
+
+  for (const EventId e : dirty_events_) {
+    EventAccum& ea = events_[e];
+    auto postings = std::make_shared<InvertedIndex::EventPostings>();
+    postings->postings = ea.postings;
+    postings->total = ea.total;
+    ea.frozen = std::move(postings);
+    ea.dirty = false;
+  }
+  dirty_events_.clear();
+
+  if (present_dirty_) {
+    present_cache_.clear();
+    for (EventId e = 0; e < events_.size(); ++e) {
+      if (events_[e].total > 0) present_cache_.push_back(e);
+    }
+    present_dirty_ = false;
+  }
+
+  // Assemble the view: shared_ptr copies only.
+  std::vector<std::shared_ptr<const InvertedIndex::SeqBlock>> blocks;
+  blocks.reserve(seqs_.size());
+  for (const SeqAccum& sa : seqs_) blocks.push_back(sa.frozen);
+  std::vector<std::shared_ptr<const InvertedIndex::EventPostings>> postings;
+  postings.reserve(events_.size());
+  for (const EventAccum& ea : events_) postings.push_back(ea.frozen);
+  return InvertedIndex(std::move(blocks), std::move(postings), present_cache_,
+                       alphabet_size());
+}
+
+}  // namespace gsgrow

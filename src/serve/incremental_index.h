@@ -1,0 +1,132 @@
+// Incremental inverted index with epoch snapshots (DESIGN.md §8).
+//
+// The batch InvertedIndex sorts the whole database on construction; a
+// serving deployment cannot afford that per append, nor can it mutate an
+// index that in-flight mining runs are reading. IncrementalInvertedIndex
+// splits the two roles:
+//
+//  * WRITER SIDE — per-sequence accumulators keep each (sequence, event)
+//    position list as its own growable vector, so recording one appended
+//    event costs an event-slot binary search plus a push_back (amortized
+//    O(log distinct-events-in-sequence)); per-event postings keep their
+//    (sequence, count) pairs sorted by sequence and are patched in place.
+//    Nothing is sorted globally, ever — appends arrive in position order,
+//    so every list stays sorted by construction.
+//
+//  * READER SIDE — Snapshot() freezes the accumulators that changed since
+//    the previous snapshot into immutable CSR blocks / postings vectors and
+//    assembles an InvertedIndex view that SHARES the frozen blocks of
+//    untouched sequences with earlier snapshots. The snapshot is a plain
+//    InvertedIndex: every miner facade, annotator, and bench runs against
+//    it unchanged, and the differential suite pins its query surface to a
+//    from-scratch batch build bit for bit.
+//
+// Epoch protocol: each Snapshot() call advances the epoch. A frozen block
+// is never mutated — an append to a frozen sequence marks its accumulator
+// dirty, and the NEXT snapshot re-freezes just that sequence (one CSR
+// rebuild of that sequence, not of the world). Snapshot cost is therefore
+// O(delta) — the blocks/postings touched since the last epoch — plus
+// O(num_sequences + alphabet) shared_ptr copies for the view itself, and
+// appends never block readers of previously taken snapshots.
+//
+// Threading contract: single writer, externally synchronized — Record/
+// AddSequence/AppendToSequence/Snapshot must be serialized by the caller
+// (MiningService holds the mutex). Snapshots are immutable and readable
+// from any thread; handing one to another thread is the caller's
+// synchronization point (tests/serve/snapshot_isolation_test.cc runs this
+// under ThreadSanitizer).
+
+#ifndef GSGROW_SERVE_INCREMENTAL_INDEX_H_
+#define GSGROW_SERVE_INCREMENTAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/types.h"
+
+namespace gsgrow {
+
+class IncrementalInvertedIndex {
+ public:
+  IncrementalInvertedIndex() = default;
+
+  /// Registers a new (possibly empty) sequence; returns its SeqId.
+  SeqId AddSequence(std::span<const EventId> events);
+
+  /// Appends events to the END of existing sequence `seq`.
+  void AppendToSequence(SeqId seq, std::span<const EventId> events);
+
+  /// Immutable view of everything recorded so far. Clean sequences/events
+  /// share their frozen blocks with prior snapshots; only the dirty delta
+  /// is frozen anew. Calling twice with no appends in between returns an
+  /// equal view for O(pointer copies).
+  InvertedIndex Snapshot();
+
+  /// Data version: how many snapshots have observed NEW data. Snapshots
+  /// taken with no intervening append return the previous epoch — two
+  /// snapshots with equal epochs are views of the identical corpus.
+  uint64_t epoch() const { return epoch_; }
+
+  size_t num_sequences() const { return seqs_.size(); }
+  EventId alphabet_size() const {
+    return static_cast<EventId>(events_.size());
+  }
+  uint64_t total_events() const { return total_events_; }
+
+  /// Writer-side length of sequence `seq` (includes unfrozen appends).
+  Position SequenceLength(SeqId seq) const;
+
+  /// Sequences / events whose accumulators changed since the last
+  /// snapshot (what the next Snapshot() must freeze). Exposed for the cost
+  /// model assertions in tests and the serve stats verb.
+  size_t dirty_sequences() const { return dirty_seqs_.size(); }
+  size_t dirty_events() const { return dirty_events_.size(); }
+
+ private:
+  struct SeqAccum {
+    Position length = 0;
+    // Sorted distinct events; positions[k] are the (ascending) positions
+    // of events[k]. Separate per-event vectors make an append O(1) after
+    // the slot search — the CSR concatenation is deferred to freeze time.
+    std::vector<EventId> events;
+    std::vector<std::vector<Position>> positions;
+    bool dirty = false;
+    std::shared_ptr<const InvertedIndex::SeqBlock> frozen;
+  };
+
+  struct EventAccum {
+    // (sequence, count) ascending by sequence, patched in place.
+    std::vector<InvertedIndex::Posting> postings;
+    uint64_t total = 0;
+    bool dirty = false;
+    std::shared_ptr<const InvertedIndex::EventPostings> frozen;
+  };
+
+  // Records one occurrence of `e` at position `p` of sequence `seq`,
+  // marking both accumulators dirty.
+  void Record(SeqId seq, EventId e, Position p);
+
+  std::vector<SeqAccum> seqs_;
+  std::vector<EventAccum> events_;
+  // Clean→dirty transitions since the last snapshot; the freeze loop walks
+  // exactly these instead of scanning the world.
+  std::vector<SeqId> dirty_seqs_;
+  std::vector<EventId> dirty_events_;
+  // Present-event list cache (ascending events with total > 0). Appends
+  // only ever add occurrences, so the list changes only when a NEW event id
+  // first appears; rebuilt lazily at snapshot time.
+  std::vector<EventId> present_cache_;
+  bool present_dirty_ = false;
+  uint64_t total_events_ = 0;
+  uint64_t epoch_ = 0;
+  // Any mutation since the last snapshot (covers empty-sequence adds,
+  // which dirty no accumulator but do change num_sequences).
+  bool changed_ = false;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SERVE_INCREMENTAL_INDEX_H_

@@ -1,0 +1,246 @@
+#include "serve/mining_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "core/clogsgrow.h"
+#include "core/gap_constrained.h"
+#include "core/gsgrow.h"
+#include "core/parallel_engine.h"
+#include "core/topk.h"
+#include "util/logging.h"
+
+namespace gsgrow {
+
+namespace {
+
+// Resolves the request's name-level event filter against the snapshot
+// dictionary into a sorted, deduplicated id list. Returns false when the
+// filter is non-empty but no name resolved — the caller answers with an
+// empty result instead of mining unrestricted.
+bool ResolveEventFilter(const MineRequest& request,
+                        const SequenceDatabase& db,
+                        std::vector<EventId>* restrict_alphabet) {
+  if (request.event_filter.empty()) {
+    *restrict_alphabet = request.options.restrict_alphabet;
+    return true;
+  }
+  restrict_alphabet->clear();
+  for (const std::string& name : request.event_filter) {
+    const EventId id = db.dictionary().Lookup(name);
+    if (id != kNoEvent) restrict_alphabet->push_back(id);
+  }
+  std::sort(restrict_alphabet->begin(), restrict_alphabet->end());
+  restrict_alphabet->erase(
+      std::unique(restrict_alphabet->begin(), restrict_alphabet->end()),
+      restrict_alphabet->end());
+  return !restrict_alphabet->empty();
+}
+
+}  // namespace
+
+SeqId MiningService::Append(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EventId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    ids.push_back(db_.dictionary().Intern(name));
+  }
+  const SeqId seq = db_.AddSequence(ids);
+  const SeqId index_seq = index_.AddSequence(ids);
+  GSGROW_CHECK(seq == index_seq);
+  snapshot_cache_.reset();
+  ++appends_;
+  return seq;
+}
+
+Status MiningService::AppendTo(SeqId seq,
+                               const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq >= db_.size()) {
+    return Status::NotFound("unknown sequence id " + std::to_string(seq));
+  }
+  std::vector<EventId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    ids.push_back(db_.dictionary().Intern(name));
+  }
+  db_.AppendToSequence(seq, ids);
+  index_.AppendToSequence(seq, ids);
+  snapshot_cache_.reset();
+  ++appends_;
+  return Status::OK();
+}
+
+SeqId MiningService::AppendIds(std::span<const EventId> events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SeqId seq = db_.AddSequence(events);
+  const SeqId index_seq = index_.AddSequence(events);
+  GSGROW_CHECK(seq == index_seq);
+  snapshot_cache_.reset();
+  ++appends_;
+  return seq;
+}
+
+Status MiningService::AppendIdsTo(SeqId seq, std::span<const EventId> events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (seq >= db_.size()) {
+    return Status::NotFound("unknown sequence id " + std::to_string(seq));
+  }
+  db_.AppendToSequence(seq, events);
+  index_.AppendToSequence(seq, events);
+  snapshot_cache_.reset();
+  ++appends_;
+  return Status::OK();
+}
+
+Status MiningService::Ingest(const SequenceDatabase& db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (db_.size() != 0) {
+    return Status::InvalidArgument(
+        "Ingest requires an empty service (ids are preserved)");
+  }
+  db_.Ingest(db);
+  for (const Sequence& s : db.sequences()) {
+    index_.AddSequence(s.events());
+  }
+  snapshot_cache_.reset();
+  appends_ += db.size();
+  return Status::OK();
+}
+
+std::shared_ptr<const ServiceSnapshot> MiningService::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (snapshot_cache_ == nullptr) {
+    snapshot_cache_ = std::make_shared<const ServiceSnapshot>(
+        ServiceSnapshot{index_.Snapshot(), db_.SnapshotDatabase(),
+                        index_.epoch()});
+  }
+  return snapshot_cache_;
+}
+
+MineResponse MiningService::Execute(const MineRequest& request) {
+  std::shared_ptr<const ServiceSnapshot> snapshot;
+  return Execute(request, &snapshot);
+}
+
+MineResponse MiningService::Execute(
+    const MineRequest& request,
+    std::shared_ptr<const ServiceSnapshot>* snapshot_out) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  *snapshot_out = Snapshot();
+  return ExecuteOn(**snapshot_out, request);
+}
+
+MineResponse MiningService::ExecuteOn(const ServiceSnapshot& snapshot,
+                                      const MineRequest& request) {
+  MineResponse response;
+  response.epoch = snapshot.epoch;
+  if (request.miner != MineRequest::Miner::kTopK &&
+      request.options.min_support < 1) {
+    response.status = Status::InvalidArgument("min_support must be >= 1");
+    return response;
+  }
+  if (request.miner == MineRequest::Miner::kTopK && request.k < 1) {
+    response.status = Status::InvalidArgument("k must be >= 1");
+    return response;
+  }
+
+  MinerOptions options = request.options;
+  if (!ResolveEventFilter(request, *snapshot.db, &options.restrict_alphabet)) {
+    // A name filter that resolves to nothing matches no pattern; answer
+    // empty rather than silently mining the whole alphabet.
+    return response;
+  }
+
+  switch (request.miner) {
+    case MineRequest::Miner::kAll: {
+      MiningResult result = MineAllFrequent(snapshot.index, options);
+      response.patterns = std::move(result.patterns);
+      response.stats = std::move(result.stats);
+      break;
+    }
+    case MineRequest::Miner::kClosed: {
+      MiningResult result = MineClosedFrequent(snapshot.index, options);
+      response.patterns = std::move(result.patterns);
+      response.stats = std::move(result.stats);
+      break;
+    }
+    case MineRequest::Miner::kTopK: {
+      TopKOptions topk;
+      topk.k = request.k;
+      topk.min_length = request.min_length;
+      topk.max_pattern_length = options.max_pattern_length;
+      topk.time_budget_seconds = options.time_budget_seconds;
+      topk.num_threads = options.num_threads;
+      topk.semantics = options.semantics;
+      topk.restrict_alphabet = options.restrict_alphabet;
+      MiningResult result = MineTopKClosed(snapshot.index, topk);
+      response.patterns = std::move(result.patterns);
+      response.stats = std::move(result.stats);
+      break;
+    }
+    case MineRequest::Miner::kGapConstrained: {
+      MiningResult result = MineAllFrequentGapConstrained(
+          *snapshot.db, snapshot.index, options, request.gap);
+      response.patterns = std::move(result.patterns);
+      response.stats = std::move(result.stats);
+      break;
+    }
+  }
+  return response;
+}
+
+std::vector<MineResponse> MiningService::ExecuteBatch(
+    std::span<const MineRequest> requests, size_t num_threads,
+    std::shared_ptr<const ServiceSnapshot>* snapshot_out) {
+  queries_.fetch_add(requests.size(), std::memory_order_relaxed);
+  const std::shared_ptr<const ServiceSnapshot> snapshot = Snapshot();
+  if (snapshot_out != nullptr) *snapshot_out = snapshot;
+  std::vector<MineResponse> responses(requests.size());
+  const size_t workers =
+      std::min(ResolveNumThreads(num_threads), std::max<size_t>(
+                                                   requests.size(), 1));
+  if (workers <= 1) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      responses[i] = ExecuteOn(*snapshot, requests[i]);
+    }
+    return responses;
+  }
+  // Request-level parallelism over the shared snapshot: workers claim the
+  // next unexecuted request (PR-3 dispenser idiom). Each request is forced
+  // single-threaded so the pool, not the per-request option, owns the
+  // hardware — responses are a pure function of (snapshot, request), so the
+  // batch output is identical at any worker count.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < requests.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        MineRequest request = requests[i];
+        request.options.num_threads = 1;
+        responses[i] = ExecuteOn(*snapshot, request);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return responses;
+}
+
+ServiceStats MiningService::Stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats stats;
+  stats.num_sequences = db_.size();
+  stats.alphabet_size = index_.alphabet_size();
+  stats.total_events = index_.total_events();
+  stats.epoch = index_.epoch();
+  stats.appends = appends_;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace gsgrow

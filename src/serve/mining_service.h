@@ -1,0 +1,169 @@
+// Query-driven mining service (DESIGN.md §8) — the session layer between a
+// live, appendable corpus and the batch miners of src/core.
+//
+// A MiningService owns one AppendableDatabase + IncrementalInvertedIndex
+// pair kept in lockstep, and executes typed MineRequests against epoch
+// snapshots: every query — or every batch of queries — runs on one
+// immutable, consistent view while appends keep landing on the writer side.
+// The request struct covers all four miner facades (all / closed / top-K /
+// gap-constrained), the Table-I semantics selection, and an event-alphabet
+// filter, so the CLI front-end (serve_session.h), mine_cli, the tests, and
+// bench/serving_queries all drive the identical code path.
+//
+// Concurrency: appends, snapshot creation, and stats are serialized by an
+// internal mutex; query EXECUTION happens outside the lock, against the
+// immutable snapshot — a long mining run never blocks appends, and appends
+// never perturb a running query. ExecuteBatch shares one snapshot across
+// the whole request vector and dispenses requests to a worker pool with the
+// same atomic-cursor idiom as the PR-3 root dispenser.
+
+#ifndef GSGROW_SERVE_MINING_SERVICE_H_
+#define GSGROW_SERVE_MINING_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/inverted_index.h"
+#include "core/miner_options.h"
+#include "core/mining_result.h"
+#include "core/reference.h"
+#include "core/sequence_database.h"
+#include "serve/appendable_database.h"
+#include "serve/incremental_index.h"
+#include "util/status.h"
+
+namespace gsgrow {
+
+/// One typed mining query.
+struct MineRequest {
+  enum class Miner {
+    kAll,             // GSgrow: all frequent patterns
+    kClosed,          // CloGSgrow: closed frequent patterns
+    kTopK,            // top-K closed by support (no min_sup needed)
+    kGapConstrained,  // exact gap-constrained mining
+  };
+
+  Miner miner = Miner::kClosed;
+
+  /// min_support, budgets, threads, semantics selection, and (for
+  /// programmatic callers) a pre-resolved restrict_alphabet.
+  MinerOptions options;
+
+  /// Event-alphabet filter by NAME, resolved against the snapshot's
+  /// dictionary at execution time. When non-empty it replaces
+  /// options.restrict_alphabet; names unknown to the snapshot match
+  /// nothing (a filter with no known names yields an empty response).
+  std::vector<std::string> event_filter;
+
+  /// Top-K parameters (kTopK only).
+  size_t k = 10;
+  size_t min_length = 1;
+
+  /// Gap constraint (kGapConstrained only).
+  LandmarkGapConstraint gap;
+};
+
+/// Outcome of one executed request.
+struct MineResponse {
+  /// InvalidArgument for malformed requests (min_support = 0, k = 0);
+  /// patterns/stats are empty then.
+  Status status;
+  std::vector<PatternRecord> patterns;
+  MiningStats stats;
+  /// Epoch of the snapshot the query ran against.
+  uint64_t epoch = 0;
+};
+
+/// One consistent, immutable view of the corpus: the index snapshot, the
+/// materialized database (dictionary for name resolution and formatting;
+/// raw sequences for the gap-constrained flow oracle), and its epoch.
+/// Copyable and freely shareable across threads.
+struct ServiceSnapshot {
+  InvertedIndex index;
+  std::shared_ptr<const SequenceDatabase> db;
+  uint64_t epoch = 0;
+};
+
+/// Shape counters for the `stats` verb and monitoring.
+struct ServiceStats {
+  size_t num_sequences = 0;
+  size_t alphabet_size = 0;
+  uint64_t total_events = 0;
+  uint64_t epoch = 0;
+  uint64_t appends = 0;
+  uint64_t queries = 0;
+};
+
+class MiningService {
+ public:
+  MiningService() = default;
+  MiningService(const MiningService&) = delete;
+  MiningService& operator=(const MiningService&) = delete;
+
+  /// Appends a new sequence of event names; returns its id.
+  SeqId Append(const std::vector<std::string>& names);
+
+  /// Appends events to the end of existing sequence `seq`.
+  Status AppendTo(SeqId seq, const std::vector<std::string>& names);
+
+  /// Id-based variants for programmatic feeds (generators, replicated
+  /// streams) whose alphabet is managed by the caller — the dictionary is
+  /// bypassed, names synthesize as "e<id>".
+  SeqId AppendIds(std::span<const EventId> events);
+  Status AppendIdsTo(SeqId seq, std::span<const EventId> events);
+
+  /// Bulk ingestion of a parsed database into an EMPTY service — the one
+  /// load path shared by mine_cli and serve_cli (--input preloading).
+  Status Ingest(const SequenceDatabase& db);
+
+  /// Takes a consistent snapshot of the current corpus: O(delta) index
+  /// freeze + view assembly after appends, and a cached-handle copy (O(1))
+  /// when nothing changed since the last call — a query storm on a quiet
+  /// corpus shares one assembled snapshot instead of re-copying the
+  /// per-sequence/per-event pointer tables per query.
+  std::shared_ptr<const ServiceSnapshot> Snapshot();
+
+  /// Executes one request against a fresh snapshot. The two-argument form
+  /// hands that snapshot back (formatting layers need its dictionary, and
+  /// taking another would advance the epoch).
+  MineResponse Execute(const MineRequest& request);
+  MineResponse Execute(const MineRequest& request,
+                       std::shared_ptr<const ServiceSnapshot>* snapshot_out);
+
+  /// Executes one request against a caller-held snapshot (shared across
+  /// queries). Pure: touches no service state, so any number may run
+  /// concurrently on one snapshot.
+  static MineResponse ExecuteOn(const ServiceSnapshot& snapshot,
+                                const MineRequest& request);
+
+  /// Executes every request against ONE shared snapshot. `num_threads` > 1
+  /// dispenses requests across that many workers (each request then runs
+  /// its miner single-threaded to avoid oversubscription); 0 means one
+  /// worker per hardware thread. Responses are returned in request order
+  /// and are identical at any worker count — each is a pure function of
+  /// (snapshot, request).
+  std::vector<MineResponse> ExecuteBatch(
+      std::span<const MineRequest> requests, size_t num_threads = 1,
+      std::shared_ptr<const ServiceSnapshot>* snapshot_out = nullptr);
+
+  ServiceStats Stats();
+
+ private:
+  std::mutex mutex_;  // serializes appends, snapshots, stats
+  AppendableDatabase db_;
+  IncrementalInvertedIndex index_;
+  // Last assembled snapshot; reset by every mutation, so a Snapshot() call
+  // with no intervening append is one shared_ptr copy.
+  std::shared_ptr<const ServiceSnapshot> snapshot_cache_;
+  uint64_t appends_ = 0;
+  std::atomic<uint64_t> queries_{0};
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_SERVE_MINING_SERVICE_H_

@@ -1,0 +1,121 @@
+#include "serve/serve_session.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "io/request_io.h"
+#include "util/string_util.h"
+
+namespace gsgrow {
+
+int RunServeSession(MiningService& service, std::istream& in,
+                    std::ostream& out) {
+  int errors = 0;
+  // Batch mode: between `batch` and `run`, mine/topk commands are queued
+  // instead of executed; `run` executes them all against ONE shared
+  // snapshot (MiningService::ExecuteBatch) and prints the responses in
+  // submission order.
+  bool batching = false;
+  std::vector<MineRequest> batch;
+  std::vector<size_t> batch_limits;
+
+  const auto fail = [&](const Status& status) {
+    out << "error " << status.ToString() << "\n";
+    ++errors;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    Result<ServeCommand> parsed = ParseServeCommand(trimmed);
+    if (!parsed.ok()) {
+      fail(parsed.status());
+      continue;
+    }
+    ServeCommand& command = *parsed;
+    if (batching && command.verb != ServeCommand::Verb::kMine &&
+        command.verb != ServeCommand::Verb::kTopK &&
+        command.verb != ServeCommand::Verb::kRun &&
+        command.verb != ServeCommand::Verb::kQuit) {
+      fail(Status::InvalidArgument(
+          "only mine/topk/run are allowed inside a batch"));
+      continue;
+    }
+    switch (command.verb) {
+      case ServeCommand::Verb::kAppend: {
+        const SeqId seq = service.Append(command.events);
+        out << "ok seq=" << seq << " len=" << command.events.size() << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kExtend: {
+        Status st = service.AppendTo(command.seq, command.events);
+        if (!st.ok()) {
+          fail(st);
+          break;
+        }
+        out << "ok seq=" << command.seq << " appended="
+            << command.events.size() << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kMine:
+      case ServeCommand::Verb::kTopK: {
+        if (batching) {
+          batch.push_back(std::move(command.request));
+          batch_limits.push_back(command.limit);
+          out << "queued " << (batch.size() - 1) << "\n";
+          break;
+        }
+        std::shared_ptr<const ServiceSnapshot> snapshot;
+        const MineResponse response =
+            service.Execute(command.request, &snapshot);
+        out << FormatMineResponse(response, snapshot->db->dictionary(),
+                                  command.limit);
+        if (!response.status.ok()) ++errors;
+        break;
+      }
+      case ServeCommand::Verb::kBatch: {
+        if (batching) {
+          fail(Status::InvalidArgument("already in a batch"));
+          break;
+        }
+        batching = true;
+        out << "batch start\n";
+        break;
+      }
+      case ServeCommand::Verb::kRun: {
+        if (!batching) {
+          fail(Status::InvalidArgument("run outside a batch"));
+          break;
+        }
+        std::shared_ptr<const ServiceSnapshot> snapshot;
+        const std::vector<MineResponse> responses =
+            service.ExecuteBatch(batch, command.run_threads, &snapshot);
+        out << "batch results=" << responses.size() << "\n";
+        for (size_t i = 0; i < responses.size(); ++i) {
+          out << "request " << i << "\n"
+              << FormatMineResponse(responses[i], snapshot->db->dictionary(),
+                                    batch_limits[i]);
+          if (!responses[i].status.ok()) ++errors;
+        }
+        batching = false;
+        batch.clear();
+        batch_limits.clear();
+        break;
+      }
+      case ServeCommand::Verb::kStats: {
+        out << FormatServiceStats(service.Stats()) << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kQuit: {
+        out << "bye\n";
+        return errors;
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,129 @@
+// Parsing and formatting of the serve protocol (io/request_io.h).
+
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "core/sequence_database.h"
+#include "io/request_io.h"
+
+namespace gsgrow {
+namespace {
+
+ServeCommand MustParse(const std::string& line) {
+  Result<ServeCommand> parsed = ParseServeCommand(line);
+  EXPECT_TRUE(parsed.ok()) << line << ": " << parsed.status().ToString();
+  return parsed.ok() ? *parsed : ServeCommand{};
+}
+
+TEST(RequestIo, ParsesAppendAndExtend) {
+  ServeCommand append = MustParse("append login view checkout");
+  EXPECT_EQ(append.verb, ServeCommand::Verb::kAppend);
+  EXPECT_EQ(append.events,
+            (std::vector<std::string>{"login", "view", "checkout"}));
+
+  ServeCommand extend = MustParse("extend 12 retry login");
+  EXPECT_EQ(extend.verb, ServeCommand::Verb::kExtend);
+  EXPECT_EQ(extend.seq, 12u);
+  EXPECT_EQ(extend.events, (std::vector<std::string>{"retry", "login"}));
+
+  EXPECT_FALSE(ParseServeCommand("extend").ok());
+  EXPECT_FALSE(ParseServeCommand("extend notanumber A").ok());
+}
+
+TEST(RequestIo, ParsesMineArguments) {
+  ServeCommand mine = MustParse(
+      "mine algo=all min_sup=7 max_len=3 threads=2 events=a,b,c limit=5 "
+      "budget=1.5");
+  EXPECT_EQ(mine.verb, ServeCommand::Verb::kMine);
+  EXPECT_EQ(mine.request.miner, MineRequest::Miner::kAll);
+  EXPECT_EQ(mine.request.options.min_support, 7u);
+  EXPECT_EQ(mine.request.options.max_pattern_length, 3u);
+  EXPECT_EQ(mine.request.options.num_threads, 2u);
+  EXPECT_EQ(mine.request.event_filter,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(mine.limit, 5u);
+  EXPECT_DOUBLE_EQ(mine.request.options.time_budget_seconds, 1.5);
+
+  // Defaults: closed mining, unlimited print.
+  ServeCommand bare = MustParse("mine");
+  EXPECT_EQ(bare.request.miner, MineRequest::Miner::kClosed);
+  EXPECT_EQ(bare.limit, static_cast<size_t>(-1));
+}
+
+TEST(RequestIo, ParsesGapAndSemantics) {
+  ServeCommand gap = MustParse("mine algo=gap min_gap=1 max_gap=4 min_sup=2");
+  EXPECT_EQ(gap.request.miner, MineRequest::Miner::kGapConstrained);
+  EXPECT_EQ(gap.request.gap.min_gap, 1u);
+  EXPECT_EQ(gap.request.gap.max_gap, 4u);
+
+  // Semantics specs carry their own '=' (window:w=10) — must survive the
+  // key=value split.
+  ServeCommand annotated =
+      MustParse("mine semantics=seqcount,window:w=10 min_sup=2");
+  EXPECT_TRUE(annotated.request.options.semantics.sequence_count);
+  EXPECT_TRUE(annotated.request.options.semantics.fixed_window);
+  EXPECT_EQ(annotated.request.options.semantics.window_width, 10u);
+}
+
+TEST(RequestIo, ParsesTopK) {
+  ServeCommand topk = MustParse("topk k=5 min_len=2 max_len=6");
+  EXPECT_EQ(topk.verb, ServeCommand::Verb::kTopK);
+  EXPECT_EQ(topk.request.miner, MineRequest::Miner::kTopK);
+  EXPECT_EQ(topk.request.k, 5u);
+  EXPECT_EQ(topk.request.min_length, 2u);
+  EXPECT_EQ(topk.request.options.max_pattern_length, 6u);
+
+  // min_sup is a mine-only key.
+  EXPECT_FALSE(ParseServeCommand("topk min_sup=3").ok());
+}
+
+TEST(RequestIo, RejectsUnknownKeysAndVerbs) {
+  EXPECT_FALSE(ParseServeCommand("mine frobnicate=1").ok());
+  EXPECT_FALSE(ParseServeCommand("mine algo=bogus").ok());
+  EXPECT_FALSE(ParseServeCommand("mine min_sup=minus").ok());
+  EXPECT_FALSE(ParseServeCommand("unknownverb").ok());
+  EXPECT_FALSE(ParseServeCommand("run speed=11").ok());
+  EXPECT_TRUE(ParseServeCommand("run threads=3").ok());
+}
+
+TEST(RequestIo, FormatsResponses) {
+  SequenceDatabase db = MakeDatabaseFromStrings({"ABC"});
+  MineResponse response;
+  response.epoch = 4;
+  response.patterns.push_back(
+      PatternRecord{Pattern({0u, 1u}), 3});
+  response.patterns.push_back(PatternRecord{Pattern({2u}), 2});
+  EXPECT_EQ(FormatMineResponse(response, db.dictionary(),
+                               static_cast<size_t>(-1)),
+            "result patterns=2 epoch=4\n3\tA B\n2\tC\n");
+  EXPECT_EQ(FormatMineResponse(response, db.dictionary(), 1),
+            "result patterns=2 epoch=4\n3\tA B\n");
+
+  response.stats.truncated = true;
+  response.stats.truncated_reason = "time_budget";
+  EXPECT_EQ(FormatMineResponse(response, db.dictionary(), 0),
+            "result patterns=2 epoch=4 truncated=time_budget\n");
+
+  MineResponse failed;
+  failed.status = Status::InvalidArgument("k must be >= 1");
+  EXPECT_EQ(FormatMineResponse(failed, db.dictionary(), 9),
+            "error InvalidArgument: k must be >= 1\n");
+}
+
+TEST(RequestIo, FormatsStats) {
+  ServiceStats stats;
+  stats.num_sequences = 3;
+  stats.alphabet_size = 9;
+  stats.total_events = 41;
+  stats.epoch = 2;
+  stats.appends = 5;
+  stats.queries = 7;
+  EXPECT_EQ(FormatServiceStats(stats),
+            "stats sequences=3 alphabet=9 events=41 epoch=2 appends=5 "
+            "queries=7");
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,203 @@
+// Differential suite for serve/incremental_index.h: after any interleaving
+// of new-sequence appends and extensions of existing sequences, a snapshot
+// must present EXACTLY the query surface of a from-scratch batch
+// InvertedIndex over the concatenated database — positions, postings,
+// counts, present events — and the miners must produce byte-identical
+// output (patterns, supports, annotations) on either index.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/clogsgrow.h"
+#include "core/gsgrow.h"
+#include "core/inverted_index.h"
+#include "core/sequence_database.h"
+#include "core/topk.h"
+#include "serve/incremental_index.h"
+#include "util/rng.h"
+
+namespace gsgrow {
+namespace {
+
+std::vector<Position> PositionsVec(const InvertedIndex& index, SeqId i,
+                                   EventId e) {
+  const auto span = index.Positions(i, e);
+  return {span.begin(), span.end()};
+}
+
+// Pins the full public query surface of `got` to `want`.
+void ExpectSameIndex(const InvertedIndex& want, const InvertedIndex& got) {
+  ASSERT_EQ(want.alphabet_size(), got.alphabet_size());
+  ASSERT_EQ(want.num_sequences(), got.num_sequences());
+  EXPECT_EQ(want.present_events(), got.present_events());
+  for (SeqId i = 0; i < want.num_sequences(); ++i) {
+    EXPECT_EQ(want.SequenceLength(i), got.SequenceLength(i)) << "seq " << i;
+    const auto want_events = want.EventsInSequence(i);
+    const auto got_events = got.EventsInSequence(i);
+    ASSERT_EQ(std::vector<EventId>(want_events.begin(), want_events.end()),
+              std::vector<EventId>(got_events.begin(), got_events.end()))
+        << "seq " << i;
+    for (EventId e : want_events) {
+      EXPECT_EQ(PositionsVec(want, i, e), PositionsVec(got, i, e))
+          << "seq " << i << " event " << e;
+      EXPECT_EQ(want.Count(i, e), got.Count(i, e));
+    }
+  }
+  for (EventId e = 0; e < want.alphabet_size(); ++e) {
+    EXPECT_EQ(want.TotalCount(e), got.TotalCount(e)) << "event " << e;
+    const auto want_post = want.Postings(e);
+    const auto got_post = got.Postings(e);
+    ASSERT_EQ(std::vector<InvertedIndex::Posting>(want_post.begin(),
+                                                  want_post.end()),
+              std::vector<InvertedIndex::Posting>(got_post.begin(),
+                                                  got_post.end()))
+        << "event " << e;
+  }
+}
+
+// Batch index over the mirror state the incremental index should match.
+InvertedIndex BatchIndex(const std::vector<std::vector<EventId>>& mirror) {
+  std::vector<Sequence> sequences;
+  sequences.reserve(mirror.size());
+  for (const auto& events : mirror) sequences.emplace_back(events);
+  return InvertedIndex(SequenceDatabase(std::move(sequences)));
+}
+
+TEST(IncrementalIndex, EmptySnapshot) {
+  IncrementalInvertedIndex incremental;
+  InvertedIndex snapshot = incremental.Snapshot();
+  EXPECT_EQ(snapshot.num_sequences(), 0u);
+  EXPECT_EQ(snapshot.alphabet_size(), 0u);
+  EXPECT_TRUE(snapshot.present_events().empty());
+}
+
+TEST(IncrementalIndex, MatchesBatchOnPaperExample) {
+  // Fig. 1: S1 = AABCDABB, S2 = ABCD (ids A=0 B=1 C=2 D=3).
+  IncrementalInvertedIndex incremental;
+  const std::vector<EventId> s1 = {0, 0, 1, 2, 3, 0, 1, 1};
+  const std::vector<EventId> s2 = {0, 1, 2, 3};
+  EXPECT_EQ(incremental.AddSequence(s1), 0u);
+  EXPECT_EQ(incremental.AddSequence(s2), 1u);
+  ExpectSameIndex(BatchIndex({s1, s2}), incremental.Snapshot());
+}
+
+TEST(IncrementalIndex, ExtensionReFreezesOnlyTheTouchedSequence) {
+  IncrementalInvertedIndex incremental;
+  incremental.AddSequence(std::vector<EventId>{0, 1, 2});
+  incremental.AddSequence(std::vector<EventId>{2, 2, 1});
+  incremental.Snapshot();
+  EXPECT_EQ(incremental.dirty_sequences(), 0u);
+  EXPECT_EQ(incremental.dirty_events(), 0u);
+
+  // Extending sequence 0 with one old and one NEW event dirties exactly
+  // that sequence plus the two touched events.
+  incremental.AppendToSequence(0, std::vector<EventId>{1, 7});
+  EXPECT_EQ(incremental.dirty_sequences(), 1u);
+  EXPECT_EQ(incremental.dirty_events(), 2u);
+  ExpectSameIndex(BatchIndex({{0, 1, 2, 1, 7}, {2, 2, 1}}),
+                  incremental.Snapshot());
+}
+
+TEST(IncrementalIndex, SnapshotsAreImmutableUnderLaterAppends) {
+  IncrementalInvertedIndex incremental;
+  incremental.AddSequence(std::vector<EventId>{0, 1, 0, 1});
+  InvertedIndex before = incremental.Snapshot();
+  const uint64_t epoch_before = incremental.epoch();
+
+  incremental.AppendToSequence(0, std::vector<EventId>{0, 1});
+  incremental.AddSequence(std::vector<EventId>{1, 1});
+  InvertedIndex after = incremental.Snapshot();
+
+  EXPECT_GT(incremental.epoch(), epoch_before);
+  // The old snapshot still answers for the old state...
+  ExpectSameIndex(BatchIndex({{0, 1, 0, 1}}), before);
+  // ...and the new one for the new state.
+  ExpectSameIndex(BatchIndex({{0, 1, 0, 1, 0, 1}, {1, 1}}), after);
+}
+
+TEST(IncrementalIndex, EpochIsADataVersion) {
+  IncrementalInvertedIndex incremental;
+  incremental.AddSequence(std::vector<EventId>{0});
+  incremental.Snapshot();
+  const uint64_t epoch = incremental.epoch();
+  incremental.Snapshot();  // nothing new to observe
+  incremental.Snapshot();
+  EXPECT_EQ(incremental.epoch(), epoch);
+  incremental.AppendToSequence(0, std::vector<EventId>{1});
+  incremental.Snapshot();
+  EXPECT_EQ(incremental.epoch(), epoch + 1);
+}
+
+TEST(IncrementalIndex, EmptySequencesMatchBatch) {
+  IncrementalInvertedIndex incremental;
+  incremental.AddSequence(std::vector<EventId>{});
+  incremental.AddSequence(std::vector<EventId>{3, 3});
+  incremental.AddSequence(std::vector<EventId>{});
+  ExpectSameIndex(BatchIndex({{}, {3, 3}, {}}), incremental.Snapshot());
+}
+
+// The acceptance differential: randomized interleaving of adds and
+// extensions, snapshot after every burst, index AND mined output compared
+// against a fresh batch build of the concatenated database.
+TEST(IncrementalIndex, RandomizedDifferentialWithMining) {
+  Rng rng(20260731);
+  IncrementalInvertedIndex incremental;
+  std::vector<std::vector<EventId>> mirror;
+  constexpr size_t kBursts = 24;
+  constexpr size_t kOpsPerBurst = 12;
+  constexpr uint64_t kAlphabet = 6;
+
+  for (size_t burst = 0; burst < kBursts; ++burst) {
+    for (size_t op = 0; op < kOpsPerBurst; ++op) {
+      std::vector<EventId> events;
+      const size_t len = static_cast<size_t>(rng.UniformInt(7));
+      for (size_t i = 0; i < len; ++i) {
+        events.push_back(static_cast<EventId>(rng.UniformInt(kAlphabet)));
+      }
+      if (!mirror.empty() && rng.Bernoulli(0.4)) {
+        const SeqId target =
+            static_cast<SeqId>(rng.UniformInt(mirror.size()));
+        incremental.AppendToSequence(target, events);
+        mirror[target].insert(mirror[target].end(), events.begin(),
+                              events.end());
+      } else {
+        const SeqId seq = incremental.AddSequence(events);
+        ASSERT_EQ(seq, mirror.size());
+        mirror.push_back(std::move(events));
+      }
+    }
+    InvertedIndex snapshot = incremental.Snapshot();
+    InvertedIndex batch = BatchIndex(mirror);
+    ExpectSameIndex(batch, snapshot);
+
+    // Mining must agree bit for bit: closed with full Table-I annotations
+    // (annotations exercise cursor replay over the snapshot), all-frequent,
+    // and top-K.
+    MinerOptions options;
+    options.min_support = 3;
+    options.semantics = SemanticsOptions::All(/*window_width=*/5,
+                                              /*min_gap=*/0, /*max_gap=*/3);
+    MiningResult closed_snapshot = MineClosedFrequent(snapshot, options);
+    MiningResult closed_batch = MineClosedFrequent(batch, options);
+    ASSERT_EQ(closed_snapshot.patterns, closed_batch.patterns)
+        << "closed mining diverged at burst " << burst;
+
+    options.semantics = SemanticsOptions{};
+    options.max_pattern_length = 4;
+    MiningResult all_snapshot = MineAllFrequent(snapshot, options);
+    MiningResult all_batch = MineAllFrequent(batch, options);
+    ASSERT_EQ(all_snapshot.patterns, all_batch.patterns)
+        << "all-frequent mining diverged at burst " << burst;
+  }
+
+  TopKOptions topk;
+  topk.k = 8;
+  topk.min_length = 2;
+  EXPECT_EQ(MineTopKClosed(incremental.Snapshot(), topk).patterns,
+            MineTopKClosed(BatchIndex(mirror), topk).patterns);
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -1,0 +1,146 @@
+// Golden-transcript test for the serve protocol loop. The same
+// RunServeSession function backs examples/serve_cli.cpp and the CI
+// serve-smoke step; this suite pins its observable behavior — response
+// shapes, epochs, batch semantics, error recovery — down to the byte.
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+#include "io/request_io.h"
+#include "serve/mining_service.h"
+#include "serve/serve_session.h"
+
+namespace gsgrow {
+namespace {
+
+struct SessionResult {
+  std::string output;
+  int errors = 0;
+};
+
+SessionResult RunScript(const std::string& script) {
+  MiningService service;
+  std::istringstream in(script);
+  std::ostringstream out;
+  SessionResult result;
+  result.errors = RunServeSession(service, in, out);
+  result.output = out.str();
+  return result;
+}
+
+TEST(ServeSession, AppendMineStatsTranscript) {
+  const SessionResult result = RunScript(
+      "# comment lines and blanks are skipped\n"
+      "\n"
+      "append A A B C A B\n"
+      "append A B C D\n"
+      "mine algo=closed min_sup=2\n"
+      "extend 1 A B\n"
+      "mine algo=closed min_sup=2 limit=2\n"
+      "stats\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_EQ(result.output,
+            "ok seq=0 len=6\n"
+            "ok seq=1 len=4\n"
+            "result patterns=4 epoch=1\n"
+            "4\tA\n"
+            "2\tA A B\n"
+            "3\tA B\n"
+            "2\tA B C\n"
+            "ok seq=1 appended=2\n"
+            "result patterns=4 epoch=2\n"
+            "5\tA\n"
+            "3\tA A B\n"
+            "stats sequences=2 alphabet=4 events=12 epoch=2 appends=3 "
+            "queries=2\n"
+            "bye\n");
+}
+
+TEST(ServeSession, BatchSharesOneEpoch) {
+  const SessionResult result = RunScript(
+      "append A B A B A B\n"
+      "append B A B A\n"
+      "batch\n"
+      "mine algo=all min_sup=4 max_len=2\n"
+      "topk k=2 min_len=2\n"
+      "run threads=2\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_EQ(result.output,
+            "ok seq=0 len=6\n"
+            "ok seq=1 len=4\n"
+            "batch start\n"
+            "queued 0\n"
+            "queued 1\n"
+            "batch results=2\n"
+            "request 0\n"
+            "result patterns=4 epoch=1\n"
+            "5\tA\n"
+            "4\tA B\n"
+            "5\tB\n"
+            "4\tB A\n"
+            "request 1\n"
+            "result patterns=2 epoch=1\n"
+            "4\tA B\n"
+            "4\tB A\n"
+            "bye\n");
+}
+
+TEST(ServeSession, SemanticsAndEventFilters) {
+  const SessionResult result = RunScript(
+      "append A A B C A B\n"
+      "mine min_sup=2 events=A,B semantics=seqcount,window:w=4\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 0);
+  // Under the {A,B} filter, "A B" (support 2) is suppressed as non-closed:
+  // prepending A gives "A A B" with the same support.
+  EXPECT_EQ(result.output,
+            "ok seq=0 len=6\n"
+            "result patterns=2 epoch=1\n"
+            "3\tA\t|\tsequence_count=1 fixed_window=3\n"
+            "2\tA A B\t|\tsequence_count=1 fixed_window=1\n"
+            "bye\n");
+}
+
+TEST(ServeSession, ErrorsDoNotKillTheSession) {
+  const SessionResult result = RunScript(
+      "bogus\n"
+      "extend 7 A\n"
+      "mine min_sup=zero\n"
+      "mine frobnicate=1\n"
+      "run\n"
+      "append A A\n"
+      "mine min_sup=2\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 5);
+  // The session recovered: the final query answered normally.
+  EXPECT_NE(result.output.find("result patterns=1 epoch=1\n2\tA\n"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("bye\n"), std::string::npos);
+}
+
+TEST(ServeSession, BatchRejectsAppends) {
+  const SessionResult result = RunScript(
+      "append A A\n"
+      "batch\n"
+      "append B B\n"
+      "mine min_sup=2\n"
+      "run\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 1);
+  EXPECT_NE(result.output.find("error InvalidArgument: only mine/topk/run"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("batch results=1\n"), std::string::npos);
+}
+
+TEST(ServeSession, EndsAtEofWithoutQuit) {
+  const SessionResult result = RunScript("append A B\nstats\n");
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_NE(result.output.find("stats sequences=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsgrow
