@@ -9,9 +9,16 @@
 // paper's claim that "our closed-pattern mining algorithm is sped up
 // significantly with these two checking strategies".
 //
+// The harness also carries the storage ablation for the delta-compressed
+// posting blocks (DESIGN.md §9): every dataset runs the full variant twice,
+// once on the default compressed index and once on a plain-postings build,
+// with index_bytes recorded per row. The two encodings must produce the
+// identical closed set — a mismatch in any identity gate (plain-vs-
+// compressed or memoized-vs-seed) makes the harness exit non-zero.
+//
 // Rows land in BENCH_ablation_pruning.json (and, when GSGROW_BENCH_JSON is
-// set, are appended there too) so the memoized-vs-seed speedup is tracked
-// across PRs, not inferred from stdout.
+// set, are appended there too) so the memoized-vs-seed speedup and the
+// compression ratio are tracked across PRs, not inferred from stdout.
 
 #include <cstdio>
 #include <string>
@@ -92,6 +99,24 @@ int main() {
     datasets.emplace_back("closure-heavy " + params.Name(),
                           GenerateQuest(params));
   }
+  {
+    // Storage-dense configuration: very long sequences over a tiny
+    // alphabet, so per-(sequence,event) position lists run to hundreds of
+    // entries and the delta-compressed blocks engage fully (multi-group
+    // packing, ~2x+ byte reduction). The support floor sits near the top
+    // event counts — occurrence-based support explodes combinatorially on
+    // this shape, and a near-saturation threshold keeps the run finishing
+    // inside the budget so the encoding identity gate is verified on
+    // completed output.
+    QuestParams params;
+    params.num_sequences =
+        static_cast<uint32_t>(std::max(10.0, 100 * scale));
+    params.num_events = 8;
+    params.avg_sequence_length = 600;
+    params.avg_pattern_length = 8;
+    datasets.emplace_back("storage-dense " + params.Name(),
+                          GenerateQuest(params));
+  }
 
   const Variant variants[] = {
       {"full (memoized)", true, true, true, true},
@@ -102,9 +127,12 @@ int main() {
   };
 
   std::vector<std::string> json_rows;
+  bool gates_ok = true;
   for (const auto& [name, db] : datasets) {
     std::printf("%s\n", FormatStatsReport(name, db).c_str());
     InvertedIndex index(db);
+    InvertedIndex plain_index(db,
+                              IndexBuildOptions{.compress_postings = false});
     uint64_t min_sup = bench::ScaledMinSup(20, scale);
     if (name.rfind("jboss", 0) == 0) min_sup = 18;
     // The closure-heavy corpus has far larger supports (small alphabet,
@@ -114,14 +142,18 @@ int main() {
     if (name.rfind("closure-heavy", 0) == 0) {
       min_sup = bench::ScaledMinSup(160, scale);
     }
+    if (name.rfind("storage-dense", 0) == 0) {
+      min_sup = bench::ScaledMinSup(9200, scale);
+    }
     TextTable table({"variant", "threads", "time", "closed patterns",
                      "nodes visited", "lb-pruned subtrees", "insgrow calls",
                      "next queries", "regrow events"});
-    bench::Cell memoized_cell, seed_cell;
+    bench::Cell memoized_cell, seed_cell, plain_cell;
     for (const Variant& v : variants) {
       MiningResult result =
           MineClosedFrequent(index, VariantOptions(v, min_sup, budget));
       bench::Cell cell = bench::ToCell(result);
+      cell.index_bytes = index.MemoryUsage();
       if (std::string(v.name) == "full (memoized)") memoized_cell = cell;
       if (std::string(v.name) == "seed regrow path") seed_cell = cell;
       table.AddRow({v.name, "1", bench::CellTime(cell),
@@ -137,6 +169,29 @@ int main() {
       json_rows.push_back(json);
       bench::AppendBenchJson(json);
     }
+    // Storage ablation arm: the full variant on the PLAIN (uncompressed)
+    // index. Everything about the search is identical — only the posting
+    // storage and the cursor decode path differ — so this row isolates the
+    // cost/benefit of the delta-compressed blocks (DESIGN.md §9).
+    {
+      MiningResult result = MineClosedFrequent(
+          plain_index, VariantOptions(variants[0], min_sup, budget));
+      plain_cell = bench::ToCell(result);
+      plain_cell.index_bytes = plain_index.MemoryUsage();
+      table.AddRow({"plain postings", "1", bench::CellTime(plain_cell),
+                    bench::CellCount(plain_cell),
+                    WithThousandsSeparators(result.stats.nodes_visited),
+                    WithThousandsSeparators(result.stats.lb_pruned_subtrees),
+                    WithThousandsSeparators(result.stats.insgrow_calls),
+                    WithThousandsSeparators(result.stats.next_queries),
+                    WithThousandsSeparators(
+                        result.stats.closure_regrow_events)});
+      std::string json =
+          bench::CellJson("ablation_pruning", name, "plain postings",
+                          plain_cell);
+      json_rows.push_back(json);
+      bench::AppendBenchJson(json);
+    }
     // Thread-scaling rows (ROADMAP "Scale"): the full variant with the root
     // loop sharded across workers. Output and DFS accounting are
     // thread-count invariant (pinned by parallel_engine_test); these rows
@@ -148,6 +203,7 @@ int main() {
       options.num_threads = threads;
       MiningResult result = MineClosedFrequent(index, options);
       bench::Cell cell = bench::ToCell(result, threads);
+      cell.index_bytes = index.MemoryUsage();
       table.AddRow({"full (memoized)", std::to_string(threads),
                     bench::CellTime(cell), bench::CellCount(cell),
                     WithThousandsSeparators(result.stats.nodes_visited),
@@ -172,12 +228,21 @@ int main() {
     std::printf("(min_sup=%llu)\n%s",
                 static_cast<unsigned long long>(min_sup),
                 table.ToString().c_str());
+    std::printf(
+        "index bytes: compressed %s vs plain %s (%.2fx smaller)\n",
+        WithThousandsSeparators(index.MemoryUsage()).c_str(),
+        WithThousandsSeparators(plain_index.MemoryUsage()).c_str(),
+        index.MemoryUsage() > 0
+            ? static_cast<double>(plain_index.MemoryUsage()) /
+                  static_cast<double>(index.MemoryUsage())
+            : 0.0);
     // The memoized-vs-seed pair must agree exactly; when neither run was
     // cut off, re-mine with collection on and compare the pattern sets so
     // the speedup claim is tied to identical output. The collecting
     // re-runs are slower than the count-only runs, so they may hit the
     // budget themselves — a truncated prefix proves nothing either way
-    // and is reported as unverified, not as a mismatch.
+    // and is reported as unverified, not as a mismatch. A verified
+    // mismatch fails the harness (non-zero exit).
     if (!memoized_cell.truncated() && !seed_cell.truncated()) {
       MinerOptions collect_memo =
           VariantOptions(variants[0], min_sup, budget);
@@ -190,17 +255,39 @@ int main() {
           memoized_cell.seconds() > 0
               ? seed_cell.seconds() / memoized_cell.seconds()
               : 0.0;
+      const bool verified = !memo.stats.truncated && !seeded.stats.truncated;
+      if (verified && memo.patterns != seeded.patterns) gates_ok = false;
       const char* identical =
-          (memo.stats.truncated || seeded.stats.truncated)
-              ? "not verified (collection run truncated)"
-              : (memo.patterns == seeded.patterns ? "yes" : "NO (BUG)");
+          !verified ? "not verified (collection run truncated)"
+                    : (memo.patterns == seeded.patterns ? "yes" : "NO (BUG)");
       std::printf("memoized vs seed: %.2fx speedup, closed set identical: %s\n",
                   speedup, identical);
+      // Encoding identity gate: the plain-postings arm must mine the exact
+      // same closed set as the compressed default.
+      if (!plain_cell.truncated()) {
+        MiningResult plain_mined =
+            MineClosedFrequent(plain_index, collect_memo);
+        const bool plain_verified =
+            !memo.stats.truncated && !plain_mined.stats.truncated;
+        if (plain_verified && memo.patterns != plain_mined.patterns) {
+          gates_ok = false;
+        }
+        std::printf(
+            "compressed vs plain: closed set identical: %s\n",
+            !plain_verified
+                ? "not verified (collection run truncated)"
+                : (memo.patterns == plain_mined.patterns ? "yes"
+                                                         : "NO (BUG)"));
+      }
     }
     std::printf("\n");
   }
   bench::WriteJsonArray("BENCH_ablation_pruning.json", json_rows);
   std::printf("wrote BENCH_ablation_pruning.json (%zu rows)\n",
               json_rows.size());
+  if (!gates_ok) {
+    std::printf("IDENTITY GATE FAILED (see above)\n");
+    return 1;
+  }
   return 0;
 }

@@ -9,6 +9,12 @@
 // ablation acceptance: BM_INSgrow* vs BM_INSgrow*Reference is the
 // INSgrow-throughput claim, BM_ClosureCheckMemoized vs BM_ClosureCheckSeed
 // the per-node closure-check claim (see DESIGN.md §5).
+//
+// The *Plain variants re-run the cursor, INSgrow, and index-build
+// benchmarks on an uncompressed-postings index (IndexBuildOptions): the
+// unsuffixed benchmarks measure the default delta-compressed blocks, so
+// each Plain/default pair is the decode-cost half of the DESIGN.md §9
+// storage ablation (the byte-count half lives in the table harnesses).
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +45,12 @@ const InvertedIndex& TestIndex() {
   return *index;
 }
 
+const InvertedIndex& TestPlainIndex() {
+  static InvertedIndex* index = new InvertedIndex(
+      TestDb(), IndexBuildOptions{.compress_postings = false});
+  return *index;
+}
+
 // Dense corpus: small alphabet over long sequences, so per-(sequence,
 // event) position lists are long and support sets carry many instances per
 // sequence run — the regime the cursor's run-resolved galloping targets
@@ -61,6 +73,45 @@ const InvertedIndex& DenseIndex() {
   return *index;
 }
 
+const InvertedIndex& DensePlainIndex() {
+  static InvertedIndex* index = new InvertedIndex(
+      DenseDb(), IndexBuildOptions{.compress_postings = false});
+  return *index;
+}
+
+// Long-list corpus: one multi-thousand-event sequence over a 5-event
+// alphabet, so each (sequence, event) list spans MANY packed groups. This
+// is the regime the delta-compressed blocks target — skip pointers gallop
+// over whole groups and the byte footprint shrinks well past 2x.
+const SequenceDatabase& LongDb() {
+  static SequenceDatabase* db = [] {
+    std::vector<EventId> events;
+    events.reserve(40000);
+    uint64_t x = 88172645463325252ull;  // xorshift64 — deterministic stream
+    for (int i = 0; i < 40000; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      events.push_back(static_cast<EventId>(x % 5));
+    }
+    std::vector<Sequence> sequences;
+    sequences.emplace_back(std::move(events));
+    return new SequenceDatabase(std::move(sequences));
+  }();
+  return *db;
+}
+
+const InvertedIndex& LongIndex() {
+  static InvertedIndex* index = new InvertedIndex(LongDb());
+  return *index;
+}
+
+const InvertedIndex& LongPlainIndex() {
+  static InvertedIndex* index = new InvertedIndex(
+      LongDb(), IndexBuildOptions{.compress_postings = false});
+  return *index;
+}
+
 // Most frequent events of a corpus, for stable pattern construction.
 std::vector<EventId> TopEvents(const InvertedIndex& index, size_t k) {
   std::vector<EventId> events(index.present_events().begin(),
@@ -72,16 +123,25 @@ std::vector<EventId> TopEvents(const InvertedIndex& index, size_t k) {
   return events;
 }
 
-void BM_IndexBuild(benchmark::State& state) {
+void IndexBuild(benchmark::State& state, const IndexBuildOptions& options) {
   const SequenceDatabase& db = TestDb();
   for (auto _ : state) {
-    InvertedIndex index(db);
+    InvertedIndex index(db, options);
     benchmark::DoNotOptimize(index.alphabet_size());
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(db.Stats().total_length));
 }
+
+void BM_IndexBuild(benchmark::State& state) {
+  IndexBuild(state, IndexBuildOptions{.compress_postings = true});
+}
 BENCHMARK(BM_IndexBuild);
+
+void BM_IndexBuildPlain(benchmark::State& state) {
+  IndexBuild(state, IndexBuildOptions{.compress_postings = false});
+}
+BENCHMARK(BM_IndexBuildPlain);
 
 void BM_NextQuery(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
@@ -98,11 +158,16 @@ void BM_NextQuery(benchmark::State& state) {
 BENCHMARK(BM_NextQuery);
 
 // The same rising-bound query stream answered by one PositionCursor per
-// sweep: the event slot is resolved once and queries gallop forward.
-void BM_NextQueryCursor(benchmark::State& state) {
-  const InvertedIndex& index = TestIndex();
+// sweep: the event slot is resolved once and queries gallop forward. The
+// sweep runs over the LONGEST position list of the corpus's most frequent
+// event, so on the compressed index the cursor works across multiple
+// packed groups (skip + decode), not a degenerate short list.
+void NextQueryCursor(benchmark::State& state, const InvertedIndex& index) {
   EventId e = TopEvents(index, 1)[0];
   SeqId seq = index.Postings(e)[0].seq;
+  for (const auto& posting : index.Postings(e)) {
+    if (index.Count(posting.seq, e) > index.Count(seq, e)) seq = posting.seq;
+  }
   PositionCursor cursor = index.Cursor(seq, e);
   Position p = 0;
   for (auto _ : state) {
@@ -117,7 +182,72 @@ void BM_NextQueryCursor(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
+
+void BM_NextQueryCursor(benchmark::State& state) {
+  NextQueryCursor(state, TestIndex());
+}
 BENCHMARK(BM_NextQueryCursor);
+
+void BM_NextQueryCursorPlain(benchmark::State& state) {
+  NextQueryCursor(state, TestPlainIndex());
+}
+BENCHMARK(BM_NextQueryCursorPlain);
+
+void BM_NextQueryCursorDense(benchmark::State& state) {
+  NextQueryCursor(state, DenseIndex());
+}
+BENCHMARK(BM_NextQueryCursorDense);
+
+void BM_NextQueryCursorDensePlain(benchmark::State& state) {
+  NextQueryCursor(state, DensePlainIndex());
+}
+BENCHMARK(BM_NextQueryCursorDensePlain);
+
+void BM_NextQueryCursorLong(benchmark::State& state) {
+  NextQueryCursor(state, LongIndex());
+}
+BENCHMARK(BM_NextQueryCursorLong);
+
+void BM_NextQueryCursorLongPlain(benchmark::State& state) {
+  NextQueryCursor(state, LongPlainIndex());
+}
+BENCHMARK(BM_NextQueryCursorLongPlain);
+
+// Rising-bound queries with a large stride: most queries skip past whole
+// packed groups, so the compressed cursor answers from the group-max skip
+// pointers without decoding the skipped groups.
+void NextQueryCursorSkip(benchmark::State& state,
+                         const InvertedIndex& index) {
+  EventId e = TopEvents(index, 1)[0];
+  SeqId seq = index.Postings(e)[0].seq;
+  for (const auto& posting : index.Postings(e)) {
+    if (index.Count(posting.seq, e) > index.Count(seq, e)) seq = posting.seq;
+  }
+  const Position limit = index.SequenceLength(seq);
+  PositionCursor cursor = index.Cursor(seq, e);
+  Position p = 0;
+  for (auto _ : state) {
+    Position next = cursor.NextAtOrAfter(p);
+    if (next == kNoPosition) {
+      cursor = index.Cursor(seq, e);
+      p = 0;
+      next = cursor.NextAtOrAfter(p);
+    }
+    p = (next + 997 < limit) ? next + 997 : limit;
+    benchmark::DoNotOptimize(next);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NextQueryCursorSkipLong(benchmark::State& state) {
+  NextQueryCursorSkip(state, LongIndex());
+}
+BENCHMARK(BM_NextQueryCursorSkipLong);
+
+void BM_NextQueryCursorSkipLongPlain(benchmark::State& state) {
+  NextQueryCursorSkip(state, LongPlainIndex());
+}
+BENCHMARK(BM_NextQueryCursorSkipLongPlain);
 
 void BM_RootInstances(benchmark::State& state) {
   const InvertedIndex& index = TestIndex();
@@ -168,10 +298,20 @@ void BM_INSgrowReference(benchmark::State& state) {
 }
 BENCHMARK(BM_INSgrowReference);
 
+void BM_INSgrowPlain(benchmark::State& state) {
+  INSgrowFast(state, TestPlainIndex());
+}
+BENCHMARK(BM_INSgrowPlain);
+
 void BM_INSgrowDense(benchmark::State& state) {
   INSgrowFast(state, DenseIndex());
 }
 BENCHMARK(BM_INSgrowDense);
+
+void BM_INSgrowDensePlain(benchmark::State& state) {
+  INSgrowFast(state, DensePlainIndex());
+}
+BENCHMARK(BM_INSgrowDensePlain);
 
 void BM_INSgrowDenseReference(benchmark::State& state) {
   INSgrowReference(state, DenseIndex());

@@ -58,6 +58,7 @@ Cell RunAll(const InvertedIndex& index, uint64_t min_sup, double budget,
   options.collect_patterns = false;
   options.num_threads = num_threads;
   Cell cell = ToCell(MineAllFrequent(index, options), num_threads);
+  cell.index_bytes = index.MemoryUsage();
   AppendBenchJson(CellJson("gsgrow", label,
                            "min_sup=" + std::to_string(min_sup), cell));
   return cell;
@@ -71,6 +72,7 @@ Cell RunClosed(const InvertedIndex& index, uint64_t min_sup, double budget,
   options.collect_patterns = false;
   options.num_threads = num_threads;
   Cell cell = ToCell(MineClosedFrequent(index, options), num_threads);
+  cell.index_bytes = index.MemoryUsage();
   AppendBenchJson(CellJson("clogsgrow", label,
                            "min_sup=" + std::to_string(min_sup), cell));
   return cell;
@@ -85,6 +87,7 @@ std::string CellJson(const std::string& bench, const std::string& dataset,
       << ",\"config\":\"" << JsonEscape(config) << "\""
       << ",\"threads\":" << cell.threads
       << ",\"semantics\":\"" << JsonEscape(cell.semantics) << "\""
+      << ",\"index_bytes\":" << cell.index_bytes
       << ",\"seconds\":" << cell.seconds()
       << ",\"patterns\":" << cell.patterns()
       << ",\"truncated\":" << (cell.truncated() ? "true" : "false")

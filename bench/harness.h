@@ -43,6 +43,10 @@ struct Cell {
   MiningStats stats;
   size_t threads = 1;
   std::string semantics;
+  /// InvertedIndex::MemoryUsage() of the index the run executed against
+  /// (0 when the harness did not record it) — makes the posting-compression
+  /// footprint a recorded number in the JSON rows, not a claim.
+  uint64_t index_bytes = 0;
 
   double seconds() const { return stats.elapsed_seconds; }
   uint64_t patterns() const { return stats.patterns_found; }

@@ -11,8 +11,16 @@
 // and additionally measures the incremental path: appending a stream of
 // sequences followed by an O(delta) snapshot, vs re-indexing the world.
 //
+// A third arm runs the same batch against a PLAIN-postings service
+// (MiningService(IndexBuildOptions)) — the storage ablation for the
+// delta-compressed posting blocks (DESIGN.md §9). Its responses feed the
+// same identity gate, and every row records the index footprint
+// (index_bytes), so the compression ratio on the serving corpus is a
+// tracked number.
+//
 // Rows land in BENCH_serving_queries.json; the summary row records the
-// shared-vs-rebuild speedup (acceptance asks for >= 2x on this corpus).
+// shared-vs-rebuild speedup (acceptance asks for >= 2x on this corpus)
+// plus the compressed and plain index byte counts.
 
 #include <algorithm>
 #include <cstdio>
@@ -161,6 +169,7 @@ int main() {
   std::vector<MineResponse> rebuild_responses(queries.size());
   std::vector<double> rebuild_seconds(queries.size(), 0.0);
   double rebuild_total = 0;
+  uint64_t rebuild_index_bytes = 0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     for (size_t i = 0; i < queries.size(); ++i) {
       WallTimer timer;
@@ -172,6 +181,9 @@ int main() {
       auto reload_db = std::make_shared<const SequenceDatabase>(
           std::move(*reparsed));
       ServiceSnapshot snapshot{InvertedIndex(*reload_db), reload_db, 0};
+      if (rebuild_index_bytes == 0) {
+        rebuild_index_bytes = snapshot.index.MemoryUsage();
+      }
       MineResponse response =
           MiningService::ExecuteOn(snapshot, queries[i].request);
       const double s = timer.ElapsedSeconds();
@@ -219,14 +231,51 @@ int main() {
       }
     }
   }
+  const uint64_t shared_index_bytes =
+      service.Snapshot()->index.MemoryUsage();
 
-  // --- Identity gate + report. ---
+  // --- Arm 3: the same service shape on PLAIN postings (storage
+  // ablation). Same batch, same snapshot amortization — only the block
+  // encoding differs, so per-query deltas against arm 2 isolate the
+  // cursor decode cost and the byte counts isolate the footprint win. ---
+  MiningService plain_service(IndexBuildOptions{.compress_postings = false});
+  if (!plain_service.Ingest(db).ok()) {
+    std::printf("plain ingest failed\n");
+    return 1;
+  }
+  const uint64_t plain_index_bytes =
+      plain_service.Snapshot()->index.MemoryUsage();
+  std::vector<MineResponse> plain_responses(queries.size());
+  std::vector<double> plain_seconds(queries.size(), 0.0);
+  double plain_total = 0;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      WallTimer timer;
+      const std::shared_ptr<const ServiceSnapshot> view =
+          plain_service.Snapshot();
+      MineResponse response =
+          MiningService::ExecuteOn(*view, queries[i].request);
+      const double s = timer.ElapsedSeconds();
+      plain_seconds[i] += s;
+      plain_total += s;
+      if (rep == 0) {
+        plain_responses[i] = std::move(response);
+      } else if (response.patterns != plain_responses[i].patterns) {
+        std::printf("plain arm nondeterministic at query %zu\n", i);
+        return 1;
+      }
+    }
+  }
+
+  // --- Identity gate + report. All three arms must agree on every query.
   bool identical = true;
-  TextTable table({"query", "patterns", "rebuild", "shared", "speedup",
-                   "identical"});
+  TextTable table({"query", "patterns", "rebuild", "shared", "plain",
+                   "speedup", "identical"});
   std::vector<std::string> json_rows;
   for (size_t i = 0; i < queries.size(); ++i) {
-    const bool same = SameAnswers(rebuild_responses[i], shared_responses[i]);
+    const bool same =
+        SameAnswers(rebuild_responses[i], shared_responses[i]) &&
+        SameAnswers(shared_responses[i], plain_responses[i]);
     identical = identical && same;
     const double speedup =
         shared_seconds[i] > 0 ? rebuild_seconds[i] / shared_seconds[i] : 0;
@@ -234,14 +283,20 @@ int main() {
                   std::to_string(shared_responses[i].patterns.size()),
                   FormatSeconds(rebuild_seconds[i]),
                   FormatSeconds(shared_seconds[i]),
+                  FormatSeconds(plain_seconds[i]),
                   FormatDouble(speedup, 2) + "x", same ? "yes" : "NO (BUG)"});
-    for (const auto& [arm, resp, secs] :
-         {std::tuple{"rebuild", &rebuild_responses[i], rebuild_seconds[i]},
-          std::tuple{"shared", &shared_responses[i], shared_seconds[i]}}) {
+    for (const auto& [arm, resp, secs, bytes] :
+         {std::tuple{"rebuild", &rebuild_responses[i], rebuild_seconds[i],
+                     rebuild_index_bytes},
+          std::tuple{"shared", &shared_responses[i], shared_seconds[i],
+                     shared_index_bytes},
+          std::tuple{"plain", &plain_responses[i], plain_seconds[i],
+                     plain_index_bytes}}) {
       bench::Cell cell;
       cell.stats = resp->stats;
       cell.stats.elapsed_seconds = secs;
       cell.stats.patterns_found = resp->patterns.size();
+      cell.index_bytes = bytes;
       std::string json = bench::CellJson(
           "serving_queries", dataset,
           queries[i].label + " arm=" + arm, cell);
@@ -250,6 +305,14 @@ int main() {
     }
   }
   std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "index bytes: compressed %llu vs plain %llu (%.2fx smaller)\n",
+      static_cast<unsigned long long>(shared_index_bytes),
+      static_cast<unsigned long long>(plain_index_bytes),
+      shared_index_bytes > 0
+          ? static_cast<double>(plain_index_bytes) /
+                static_cast<double>(shared_index_bytes)
+          : 0.0);
 
   const double batch_speedup =
       shared_total > 0 ? rebuild_total / shared_total : 0;
@@ -334,7 +397,10 @@ int main() {
       std::to_string(queries.size()) +
       ",\"rebuild_seconds\":" + std::to_string(rebuild_total) +
       ",\"shared_seconds\":" + std::to_string(shared_total) +
+      ",\"plain_seconds\":" + std::to_string(plain_total) +
       ",\"speedup\":" + std::to_string(batch_speedup) +
+      ",\"index_bytes_compressed\":" + std::to_string(shared_index_bytes) +
+      ",\"index_bytes_plain\":" + std::to_string(plain_index_bytes) +
       ",\"ingest_seconds\":" + std::to_string(ingest_seconds) +
       ",\"snapshot_seconds\":" + std::to_string(snapshot_seconds) +
       ",\"append_stream_seconds\":" + std::to_string(append_seconds) +

@@ -178,7 +178,7 @@ bool ClosurePruning::CheckInsertExtensions(const GrowthNode& node,
       if (gap == 0) {
         current->clear();
         for (const auto& [seq, need] : seq_counts_) {
-          const std::span<const Position> positions = index.Positions(seq, e);
+          const PositionListView positions = index.Positions(seq, e);
           if (positions.size() < need) {
             alive = false;  // coverage already broken (filter disabled)
             break;

@@ -1,0 +1,91 @@
+#include "core/posting_codec.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace gsgrow {
+
+void DecodePackedAll(const PackedSlice& s, Position* out) {
+  for (uint32_t g = 0; g < s.num_groups; ++g) {
+    out += DecodePackedGroup(s, g, out);
+  }
+}
+
+Position PackedLowerBound(const PackedSlice& s, Position from) {
+  if (s.count == 0 || s.groups[s.num_groups - 1].max < from) {
+    return kNoPosition;
+  }
+  // First group whose max >= from — it contains the answer, because the
+  // previous group's max (its last value) is < from.
+  uint32_t lo = 0;
+  uint32_t hi = s.num_groups - 1;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (s.groups[mid].max < from) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const PackedGroup& g = s.groups[lo];
+  if (from <= g.base) return g.base;
+  // base < from <= max here, so the landing group has >= 2 values and the
+  // answer is one of the packed deltas. Binary search them via O(1) random
+  // access instead of decoding the group.
+  const uint64_t bit0 = uint64_t{g.word_off} * 64;
+  uint32_t l = 1;
+  uint32_t h = PackedGroupCount(s, lo);
+  while (l < h) {
+    const uint32_t m = l + (h - l) / 2;
+    const Position v =
+        g.base + static_cast<Position>(ExtractBitsAt(
+                     s.words, bit0 + uint64_t{m - 1} * g.width, g.width));
+    if (v < from) {
+      l = m + 1;
+    } else {
+      h = m;
+    }
+  }
+  return g.base + static_cast<Position>(ExtractBitsAt(
+                      s.words, bit0 + uint64_t{l - 1} * g.width, g.width));
+}
+
+void PostingEncoder::Add(std::span<const Position> positions) {
+  for (size_t start = 0; start < positions.size();
+       start += kPostingGroupSize) {
+    const uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+        kPostingGroupSize, positions.size() - start));
+    const Position base = positions[start];
+    const Position max = positions[start + n - 1];
+    const uint32_t width =
+        n > 1 ? static_cast<uint32_t>(std::bit_width(
+                    static_cast<uint32_t>(max - base)))
+              : 0;
+    // Each group's deltas start on a fresh word: wastes < 8 bytes per group
+    // but keeps word_off a plain 32-bit word index and makes groups
+    // independently decodable.
+    fill_ = 0;
+    GSGROW_CHECK_MSG(words_.size() <= UINT32_MAX,
+                     "posting block exceeds 32 GiB of packed words");
+    groups_.push_back(PackedGroup{base, max,
+                                  static_cast<uint32_t>(words_.size()),
+                                  static_cast<uint8_t>(width)});
+    for (uint32_t i = 1; i < n; ++i) {
+      GSGROW_DCHECK(positions[start + i] > positions[start + i - 1]);
+      AppendBits(positions[start + i] - base, width);
+    }
+  }
+}
+
+void PostingEncoder::AppendBits(uint64_t value, uint32_t width) {
+  GSGROW_DCHECK(width >= 1 && width <= 32);
+  GSGROW_DCHECK(value < (uint64_t{1} << width));
+  if (fill_ == 0) words_.push_back(0);
+  words_.back() |= value << fill_;
+  if (fill_ + width > 64) {
+    words_.push_back(value >> (64 - fill_));
+  }
+  fill_ = (fill_ + width) & 63;
+}
+
+}  // namespace gsgrow

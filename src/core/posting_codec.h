@@ -1,0 +1,139 @@
+// Frame-of-reference codec for sorted position lists (DESIGN.md §9).
+//
+// A position list is cut into groups of kPostingGroupSize values. Each group
+// stores its first value (`base`), its last value (`max` — the skip pointer),
+// and the remaining values as fixed-width bit-packed deltas from `base`.
+// `max` lets a search gallop over whole groups without touching the packed
+// words; fixed-width packing gives O(1) random access to any value inside a
+// group, so a landing group can be binary-searched or decoded wholesale into
+// a small cursor-local buffer.
+//
+// The codec is storage-agnostic: a PackedSlice is just pointers into group
+// metadata and packed words owned elsewhere (an Arena-backed SeqBlock in
+// practice). PostingEncoder serializes many lists back to back into one
+// shared (groups, words) pair so a whole CSR block shares two arrays.
+
+#ifndef GSGROW_CORE_POSTING_CODEC_H_
+#define GSGROW_CORE_POSTING_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/logging.h"
+
+namespace gsgrow {
+
+/// Values per packed group. 64 keeps the decode buffer one cache line of
+/// work and makes index->group arithmetic a shift.
+inline constexpr uint32_t kPostingGroupSize = 64;
+
+/// Lists shorter than this stay as plain Position arrays even inside a
+/// compressed block: a group costs sizeof(PackedGroup) bytes of metadata
+/// before it stores a single delta, so tiny lists would GROW under packing,
+/// and short lists that break even on bytes still pay the group decode on
+/// every cursor — below ~half a group the byte win never covers that tax.
+/// The storage choice is a pure function of the list length, so readers
+/// re-derive it from the CSR offsets without any per-slot flag.
+inline constexpr uint32_t kPostingCompressMinCount = 32;
+
+struct PackedGroup {
+  Position base;      // first value of the group
+  Position max;       // last value of the group — the skip pointer
+  uint32_t word_off;  // first packed word of this group in the word array
+  uint8_t width;      // bits per delta (0..32); deltas are value - base
+};
+
+/// Non-owning view of one encoded list.
+struct PackedSlice {
+  const PackedGroup* groups = nullptr;
+  const uint64_t* words = nullptr;
+  uint32_t num_groups = 0;
+  uint32_t count = 0;  // total values across all groups
+};
+
+inline uint32_t PackedNumGroups(uint32_t count) {
+  return (count + kPostingGroupSize - 1) / kPostingGroupSize;
+}
+
+/// Number of values in group `g` (all groups full except possibly the last).
+inline uint32_t PackedGroupCount(const PackedSlice& s, uint32_t g) {
+  return (g + 1 < s.num_groups) ? kPostingGroupSize
+                                : s.count - g * kPostingGroupSize;
+}
+
+/// `width` bits starting at absolute bit offset `bit_pos`. Reads words[w+1]
+/// only when the field actually straddles a word boundary, so a field ending
+/// flush with the last word never touches out-of-bounds memory.
+inline uint64_t ExtractBitsAt(const uint64_t* words, uint64_t bit_pos,
+                              uint32_t width) {
+  const uint64_t w = bit_pos >> 6;
+  const uint32_t shift = static_cast<uint32_t>(bit_pos & 63);
+  uint64_t v = words[w] >> shift;
+  if (shift + width > 64) v |= words[w + 1] << (64 - shift);
+  return v & ((uint64_t{1} << width) - 1);
+}
+
+/// Value at index `idx` of the list, O(1).
+inline Position PackedValueAt(const PackedSlice& s, uint32_t idx) {
+  GSGROW_DCHECK(idx < s.count);
+  const uint32_t g = idx / kPostingGroupSize;
+  const uint32_t i = idx % kPostingGroupSize;
+  const PackedGroup& gr = s.groups[g];
+  if (i == 0) return gr.base;
+  return gr.base +
+         static_cast<Position>(ExtractBitsAt(
+             s.words,
+             uint64_t{gr.word_off} * 64 + uint64_t{i - 1} * gr.width,
+             gr.width));
+}
+
+/// Decodes group `g` into out[0..n); returns n. `out` must hold
+/// kPostingGroupSize values.
+inline uint32_t DecodePackedGroup(const PackedSlice& s, uint32_t g,
+                                  Position* out) {
+  const PackedGroup& gr = s.groups[g];
+  const uint32_t n = PackedGroupCount(s, g);
+  out[0] = gr.base;
+  const uint32_t width = gr.width;
+  uint64_t bit = uint64_t{gr.word_off} * 64;
+  for (uint32_t i = 1; i < n; ++i) {
+    out[i] = gr.base + static_cast<Position>(
+                           ExtractBitsAt(s.words, bit, width));
+    bit += width;
+  }
+  return n;
+}
+
+/// Decodes the whole list into out[0..s.count).
+void DecodePackedAll(const PackedSlice& s, Position* out);
+
+/// Smallest value >= `from`, or kNoPosition — a one-shot point query:
+/// binary search over group skip pointers, then binary search inside the
+/// landing group via O(1) random access (no full-group decode).
+Position PackedLowerBound(const PackedSlice& s, Position from);
+
+/// Serializes sorted (strictly ascending) position lists into a shared
+/// (groups, words) arena-ready pair. word_off values index the shared word
+/// array and stay valid as more lists are appended, so one encoder handles
+/// every compressed slot of a block; callers record each list's starting
+/// group index before Add().
+class PostingEncoder {
+ public:
+  void Add(std::span<const Position> positions);
+
+  const std::vector<PackedGroup>& groups() const { return groups_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  void AppendBits(uint64_t value, uint32_t width);
+
+  std::vector<PackedGroup> groups_;
+  std::vector<uint64_t> words_;
+  uint32_t fill_ = 0;  // bits used in words_.back(); 0 = at a word boundary
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_CORE_POSTING_CODEC_H_

@@ -55,7 +55,9 @@ void TableIAnnotator::Annotate(const std::vector<EventId>& events,
             events.size() == 1
                 ? index_->Count(seq, events[0])
                 : InteractionCountFromLandmarks(
-                      completions_, index_->Positions(seq, events.back()));
+                      completions_,
+                      index_->Positions(seq, events.back())
+                          .Materialize(interaction_scratch_));
       }
     }
     if (sel.gap_occurrences) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace gsgrow {
@@ -94,24 +95,31 @@ InvertedIndex IncrementalInvertedIndex::Snapshot() {
   }
   // Freeze the delta: one CSR rebuild per dirty sequence, one postings copy
   // per dirty event. Clean accumulators keep their published block — shared
-  // with every earlier snapshot that references it.
+  // with every earlier snapshot that references it. Everything frozen by
+  // THIS snapshot packs into one arena, created only if there is a delta; it
+  // dies when the last block referencing it does (which may be epochs later,
+  // if some of its blocks stay clean).
+  std::shared_ptr<Arena> arena;
+  if (!dirty_seqs_.empty() || !dirty_events_.empty()) {
+    arena = std::make_shared<Arena>();
+  }
+  std::vector<uint32_t> offsets;     // CSR scratch, reused per sequence
+  std::vector<Position> positions;
   for (const SeqId seq : dirty_seqs_) {
     SeqAccum& sa = seqs_[seq];
     if (sa.length == 0) {
       sa.frozen = nullptr;  // matches the batch build: no block allocated
     } else {
-      auto block = std::make_shared<InvertedIndex::SeqBlock>();
-      block->events = sa.events;
-      block->offsets.reserve(sa.events.size() + 1);
-      block->positions.reserve(sa.length);
+      offsets.clear();
+      positions.clear();
+      positions.reserve(sa.length);
       for (const std::vector<Position>& list : sa.positions) {
-        block->offsets.push_back(
-            static_cast<uint32_t>(block->positions.size()));
-        block->positions.insert(block->positions.end(), list.begin(),
-                                list.end());
+        offsets.push_back(static_cast<uint32_t>(positions.size()));
+        positions.insert(positions.end(), list.begin(), list.end());
       }
-      block->offsets.push_back(static_cast<uint32_t>(block->positions.size()));
-      sa.frozen = std::move(block);
+      offsets.push_back(static_cast<uint32_t>(positions.size()));
+      sa.frozen = InvertedIndex::BuildSeqBlock(
+          sa.events, offsets, positions, options_.compress_postings, arena);
     }
     sa.dirty = false;
   }
@@ -119,10 +127,7 @@ InvertedIndex IncrementalInvertedIndex::Snapshot() {
 
   for (const EventId e : dirty_events_) {
     EventAccum& ea = events_[e];
-    auto postings = std::make_shared<InvertedIndex::EventPostings>();
-    postings->postings = ea.postings;
-    postings->total = ea.total;
-    ea.frozen = std::move(postings);
+    ea.frozen = InvertedIndex::BuildEventPostings(ea.postings, ea.total, arena);
     ea.dirty = false;
   }
   dirty_events_.clear();

@@ -53,6 +53,12 @@ class IncrementalInvertedIndex {
  public:
   IncrementalInvertedIndex() = default;
 
+  /// Storage options are fixed at construction and apply to every block the
+  /// index ever freezes (mixing encodings across epochs would defeat the
+  /// block-sharing equality the differential suite pins).
+  explicit IncrementalInvertedIndex(const IndexBuildOptions& options)
+      : options_(options) {}
+
   /// Registers a new (possibly empty) sequence; returns its SeqId.
   SeqId AddSequence(std::span<const EventId> events);
 
@@ -109,6 +115,7 @@ class IncrementalInvertedIndex {
   // marking both accumulators dirty.
   void Record(SeqId seq, EventId e, Position p);
 
+  IndexBuildOptions options_;
   std::vector<SeqAccum> seqs_;
   std::vector<EventAccum> events_;
   // Clean→dirty transitions since the last snapshot; the freeze loop walks

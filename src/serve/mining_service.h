@@ -102,6 +102,13 @@ struct ServiceStats {
 class MiningService {
  public:
   MiningService() = default;
+
+  /// Service whose index freezes blocks with the given storage options —
+  /// the plain-postings arm of bench/serving_queries uses this; production
+  /// callers take the (compressed) default.
+  explicit MiningService(const IndexBuildOptions& index_options)
+      : index_(index_options) {}
+
   MiningService(const MiningService&) = delete;
   MiningService& operator=(const MiningService&) = delete;
 

@@ -1,0 +1,65 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+#if GSGROW_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#define GSGROW_ASAN_POISON(addr, size) __asan_poison_memory_region(addr, size)
+#define GSGROW_ASAN_UNPOISON(addr, size) \
+  __asan_unpoison_memory_region(addr, size)
+#else
+#define GSGROW_ASAN_POISON(addr, size) ((void)0)
+#define GSGROW_ASAN_UNPOISON(addr, size) ((void)0)
+#endif
+
+namespace gsgrow {
+
+namespace {
+
+char* AlignUp(char* p, size_t alignment) {
+  const uintptr_t v = reinterpret_cast<uintptr_t>(p);
+  const uintptr_t aligned = (v + alignment - 1) & ~(uintptr_t{alignment} - 1);
+  return p + (aligned - v);
+}
+
+}  // namespace
+
+Arena::~Arena() {
+  for (const Chunk& chunk : chunks_) {
+    // ASan forbids releasing poisoned memory back to the allocator.
+    GSGROW_ASAN_UNPOISON(chunk.data, chunk.size);
+    delete[] chunk.data;
+  }
+}
+
+void Arena::NewChunk(size_t min_bytes) {
+  const size_t size = std::max(min_bytes, next_chunk_bytes_);
+  next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+  char* data = new char[size];
+  GSGROW_ASAN_POISON(data, size);
+  chunks_.push_back(Chunk{data, size});
+  reserved_ += size;
+  head_ = data;
+  end_ = data + size;
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  GSGROW_DCHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  GSGROW_DCHECK(alignment <= alignof(std::max_align_t));
+  char* p = AlignUp(head_, alignment);
+  if (p + bytes + kRedZoneBytes > end_ || head_ == nullptr) {
+    // `new char[]` returns max_align_t-aligned storage, so the fresh chunk
+    // head satisfies any permitted alignment without padding.
+    NewChunk(bytes + kRedZoneBytes + alignment);
+    p = AlignUp(head_, alignment);
+  }
+  GSGROW_ASAN_UNPOISON(p, bytes);
+  // The red zone past the allocation stays poisoned.
+  head_ = p + bytes + kRedZoneBytes;
+  allocated_ += bytes;
+  return p;
+}
+
+}  // namespace gsgrow

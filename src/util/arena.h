@@ -1,0 +1,112 @@
+// Bump-pointer arena for immutable index storage (DESIGN.md §9).
+//
+// The inverted-index read path is built from many small immutable arrays
+// (per-sequence event tables, offsets, packed posting groups). Allocating
+// each as its own heap vector fragments the general heap and scatters one
+// block's arrays across the address space; an epoch-snapshot workload
+// (serve/incremental_index.h) multiplies that by re-freezing the dirty
+// delta every epoch. An Arena packs all arrays of one build — a whole batch
+// index, or one snapshot's frozen delta — into a few large chunks: one
+// heap allocation per chunk, one contiguous region per block, and the whole
+// build is released in O(chunks) when the last block referencing it dies
+// (blocks hold the arena through shared_ptr<const Arena>).
+//
+// Ownership rule: an Arena is MUTATED only while a build is assembling its
+// arrays (single-threaded, writer side); afterwards it is held const and
+// only the memory it handed out is read. Readers never touch the Arena
+// object itself, so sharing frozen blocks across threads needs no
+// synchronization beyond the shared_ptr.
+//
+// ASan: arenas are a classic way to hide heap-buffer-overflows from
+// AddressSanitizer — a read past one array lands in the neighboring
+// allocation of the same chunk, which plain ASan considers valid memory.
+// Under ASan this arena poisons every chunk on acquisition, unpoisons
+// exactly the bytes of each allocation, and keeps a poisoned red zone
+// between consecutive allocations, so out-of-bounds reads inside a chunk
+// fault just like vector overflows do (tests/util/arena_test.cc).
+
+#ifndef GSGROW_UTIL_ARENA_H_
+#define GSGROW_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define GSGROW_HAS_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GSGROW_HAS_ASAN 1
+#endif
+#endif
+#ifndef GSGROW_HAS_ASAN
+#define GSGROW_HAS_ASAN 0
+#endif
+
+namespace gsgrow {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{64} * 1024;
+  static constexpr size_t kMaxChunkBytes = size_t{4} * 1024 * 1024;
+  /// Poisoned gap kept between consecutive allocations under ASan, so a
+  /// read past one array faults instead of silently hitting its neighbor.
+  static constexpr size_t kRedZoneBytes = GSGROW_HAS_ASAN ? 16 : 0;
+
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// `bytes` of storage aligned to `alignment` (a power of two <= 16).
+  /// Never returns null; zero-byte requests get a unique valid pointer.
+  void* Allocate(size_t bytes, size_t alignment);
+
+  /// Uninitialized array of `n` T. T must be trivially destructible — the
+  /// arena never runs destructors.
+  template <typename T>
+  std::span<T> AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (n == 0) return {};
+    T* data = static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+    return {data, n};
+  }
+
+  /// Arena-owned copy of `src` (empty input yields an empty span).
+  template <typename T>
+  std::span<const T> CopyArray(std::span<const T> src) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (src.empty()) return {};
+    std::span<T> dst = AllocateArray<T>(src.size());
+    std::memcpy(dst.data(), src.data(), src.size_bytes());
+    return dst;
+  }
+
+  /// Total payload bytes handed out (excludes alignment waste, red zones,
+  /// and unused chunk tails).
+  size_t bytes_allocated() const { return allocated_; }
+
+  /// Total chunk bytes acquired from the heap.
+  size_t bytes_reserved() const { return reserved_; }
+
+ private:
+  struct Chunk {
+    char* data;
+    size_t size;
+  };
+
+  void NewChunk(size_t min_bytes);
+
+  std::vector<Chunk> chunks_;
+  char* head_ = nullptr;  // next free byte in the current chunk
+  char* end_ = nullptr;   // one past the current chunk
+  size_t next_chunk_bytes_ = kDefaultChunkBytes;
+  size_t allocated_ = 0;
+  size_t reserved_ = 0;
+};
+
+}  // namespace gsgrow
+
+#endif  // GSGROW_UTIL_ARENA_H_

@@ -1,0 +1,181 @@
+// Randomized differential suite for the frame-of-reference posting codec:
+// any strictly-ascending Position list must round-trip exactly through
+// encode → {full decode, random access, lower bound}, including the shapes
+// that stress the bit packer — empty, single value, dense runs (width 1),
+// group-boundary sizes, and values at the top of the Position range.
+
+#include "core/posting_codec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace gsgrow {
+namespace {
+
+struct Encoded {
+  PostingEncoder encoder;
+  PackedSlice slice;
+};
+
+void Encode(const std::vector<Position>& values, Encoded* out) {
+  out->encoder.Add(values);
+  out->slice =
+      PackedSlice{out->encoder.groups().data(), out->encoder.words().data(),
+                  PackedNumGroups(static_cast<uint32_t>(values.size())),
+                  static_cast<uint32_t>(values.size())};
+}
+
+void ExpectRoundTrip(const std::vector<Position>& values) {
+  Encoded enc;
+  Encode(values, &enc);
+  ASSERT_EQ(enc.slice.num_groups,
+            (values.size() + kPostingGroupSize - 1) / kPostingGroupSize);
+
+  // Full decode.
+  std::vector<Position> decoded(values.size());
+  DecodePackedAll(enc.slice, decoded.data());
+  EXPECT_EQ(decoded, values);
+
+  // O(1) random access.
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(PackedValueAt(enc.slice, static_cast<uint32_t>(i)), values[i])
+        << "index " << i;
+  }
+
+  // Group-at-a-time decode (the cursor/iterator path).
+  Position buf[kPostingGroupSize];
+  size_t at = 0;
+  for (uint32_t g = 0; g < enc.slice.num_groups; ++g) {
+    const uint32_t n = DecodePackedGroup(enc.slice, g, buf);
+    for (uint32_t k = 0; k < n; ++k) {
+      ASSERT_EQ(buf[k], values[at++]) << "group " << g << " entry " << k;
+    }
+  }
+  EXPECT_EQ(at, values.size());
+}
+
+void ExpectLowerBoundsMatch(const std::vector<Position>& values,
+                            const std::vector<Position>& probes) {
+  Encoded enc;
+  Encode(values, &enc);
+  for (const Position from : probes) {
+    const auto it = std::lower_bound(values.begin(), values.end(), from);
+    const Position want = it == values.end() ? kNoPosition : *it;
+    ASSERT_EQ(PackedLowerBound(enc.slice, from), want) << "from=" << from;
+  }
+}
+
+TEST(PostingCodec, SingleValue) {
+  ExpectRoundTrip({0});
+  ExpectRoundTrip({kNoPosition - 1});
+  ExpectLowerBoundsMatch({7}, {0, 6, 7, 8, kNoPosition - 1});
+}
+
+TEST(PostingCodec, DenseRunWidthOne) {
+  std::vector<Position> dense(1000);
+  for (size_t i = 0; i < dense.size(); ++i) {
+    dense[i] = static_cast<Position>(i);
+  }
+  ExpectRoundTrip(dense);
+  ExpectLowerBoundsMatch(dense, {0, 1, 63, 64, 65, 500, 999, 1000});
+}
+
+TEST(PostingCodec, GroupBoundarySizes) {
+  for (const size_t n : {1u, 2u, 63u, 64u, 65u, 127u, 128u, 129u, 192u}) {
+    std::vector<Position> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<Position>(3 * i + 1);
+    }
+    ExpectRoundTrip(values);
+  }
+}
+
+TEST(PostingCodec, MaxPositionValues) {
+  // Deltas needing all 32 bits of width inside one group.
+  const std::vector<Position> wide = {0, 1, kNoPosition - 2, kNoPosition - 1};
+  ExpectRoundTrip(wide);
+  ExpectLowerBoundsMatch(wide, {0, 1, 2, kNoPosition - 2, kNoPosition - 1});
+  // A full group ending at the top of the range.
+  std::vector<Position> top(kPostingGroupSize);
+  for (size_t i = 0; i < top.size(); ++i) {
+    top[i] = kNoPosition - static_cast<Position>(top.size() - i);
+  }
+  ExpectRoundTrip(top);
+}
+
+TEST(PostingCodec, EmptySliceLowerBound) {
+  const PackedSlice empty;
+  EXPECT_EQ(PackedLowerBound(empty, 0), kNoPosition);
+}
+
+TEST(PostingCodec, ManyListsShareOneEncoder) {
+  // The block layout: several lists appended to one encoder, each addressed
+  // by its starting group. Later lists must not perturb earlier ones.
+  PostingEncoder encoder;
+  std::vector<std::vector<Position>> lists;
+  std::vector<uint32_t> group_start;
+  Rng rng(77);
+  for (int l = 0; l < 20; ++l) {
+    std::vector<Position> values;
+    Position v = static_cast<Position>(rng.UniformInt(50));
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(300));
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(v);
+      v += 1 + static_cast<Position>(rng.UniformInt(1 << (l % 16)));
+    }
+    group_start.push_back(static_cast<uint32_t>(encoder.groups().size()));
+    encoder.Add(values);
+    lists.push_back(std::move(values));
+  }
+  for (size_t l = 0; l < lists.size(); ++l) {
+    const PackedSlice slice{
+        encoder.groups().data() + group_start[l], encoder.words().data(),
+        PackedNumGroups(static_cast<uint32_t>(lists[l].size())),
+        static_cast<uint32_t>(lists[l].size())};
+    std::vector<Position> decoded(lists[l].size());
+    DecodePackedAll(slice, decoded.data());
+    ASSERT_EQ(decoded, lists[l]) << "list " << l;
+  }
+}
+
+TEST(PostingCodec, RandomizedDifferential) {
+  Rng rng(20260807);
+  for (int round = 0; round < 200; ++round) {
+    // Mix list shapes: short, group-straddling, and long; gaps from dense
+    // (delta 1) to huge (delta up to 2^26, forcing wide groups).
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(
+                             round % 3 == 0 ? 8 : 400));
+    const uint32_t max_step = 1u << rng.UniformInt(27);
+    std::vector<Position> values;
+    Position v = static_cast<Position>(rng.UniformInt(1000));
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(v);
+      const uint64_t step = 1 + static_cast<uint64_t>(rng.UniformInt(max_step));
+      if (kNoPosition - 1 - v < step) break;  // stay in range
+      v += static_cast<Position>(step);
+    }
+    ExpectRoundTrip(values);
+
+    std::vector<Position> probes;
+    for (int p = 0; p < 50; ++p) {
+      // Probe around actual values and at uniform points.
+      const Position base =
+          values[static_cast<size_t>(rng.UniformInt(values.size()))];
+      probes.push_back(base);
+      if (base > 0) probes.push_back(base - 1);
+      probes.push_back(base + 1);
+      probes.push_back(static_cast<Position>(rng.UniformInt(
+          static_cast<uint64_t>(values.back()) + 2)));
+    }
+    ExpectLowerBoundsMatch(values, probes);
+  }
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -199,5 +199,64 @@ TEST(IncrementalIndex, RandomizedDifferentialWithMining) {
             MineTopKClosed(BatchIndex(mirror), topk).patterns);
 }
 
+// Tentpole sharing contract: a sequence untouched between snapshots keeps
+// its frozen COMPRESSED block pointer-identical across epochs — the delta
+// freeze re-encodes only dirty sequences.
+TEST(IncrementalIndex, CleanCompressedBlocksArePointerSharedAcrossEpochs) {
+  IncrementalInvertedIndex incremental;
+  // Long sequence: enough occurrences per event to engage group packing.
+  std::vector<EventId> s0;
+  for (int i = 0; i < 300; ++i) s0.push_back(static_cast<EventId>(i % 3));
+  incremental.AddSequence(s0);
+  incremental.AddSequence(std::vector<EventId>{0, 1, 2});
+  InvertedIndex before = incremental.Snapshot();
+  ASSERT_NE(before.seq_block(0), nullptr);
+  EXPECT_TRUE(before.seq_block(0)->compressed());
+
+  // Touch ONLY sequence 1; sequence 0's block must be shared, not re-frozen.
+  incremental.AppendToSequence(1, std::vector<EventId>{2, 2});
+  InvertedIndex after = incremental.Snapshot();
+  EXPECT_EQ(before.seq_block(0).get(), after.seq_block(0).get())
+      << "clean block was re-frozen";
+  EXPECT_NE(before.seq_block(1).get(), after.seq_block(1).get())
+      << "dirty block was not re-frozen";
+}
+
+// The interleaved-append differential on the PLAIN encoding: snapshots of a
+// plain-postings incremental index must match a plain batch build exactly.
+TEST(IncrementalIndex, PlainEncodingMatchesBatch) {
+  const IndexBuildOptions plain{.compress_postings = false};
+  Rng rng(40111);
+  IncrementalInvertedIndex incremental(plain);
+  std::vector<std::vector<EventId>> mirror;
+  for (size_t burst = 0; burst < 6; ++burst) {
+    for (size_t op = 0; op < 10; ++op) {
+      std::vector<EventId> events;
+      const size_t len = static_cast<size_t>(rng.UniformInt(40));
+      for (size_t i = 0; i < len; ++i) {
+        events.push_back(static_cast<EventId>(rng.UniformInt(4)));
+      }
+      if (!mirror.empty() && rng.Bernoulli(0.4)) {
+        const SeqId target =
+            static_cast<SeqId>(rng.UniformInt(mirror.size()));
+        incremental.AppendToSequence(target, events);
+        mirror[target].insert(mirror[target].end(), events.begin(),
+                              events.end());
+      } else {
+        incremental.AddSequence(events);
+        mirror.push_back(std::move(events));
+      }
+    }
+    InvertedIndex snapshot = incremental.Snapshot();
+    std::vector<Sequence> sequences;
+    for (const auto& events : mirror) sequences.emplace_back(events);
+    InvertedIndex batch(SequenceDatabase(std::move(sequences)), plain);
+    ExpectSameIndex(batch, snapshot);
+    ASSERT_FALSE(snapshot.num_sequences() > 0 &&
+                 snapshot.seq_block(0) != nullptr &&
+                 snapshot.seq_block(0)->compressed());
+  }
+}
+
 }  // namespace
 }  // namespace gsgrow

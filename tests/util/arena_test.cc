@@ -1,0 +1,103 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "core/types.h"
+
+#if GSGROW_HAS_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace gsgrow {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> allocs;
+  for (size_t i = 0; i < 200; ++i) {
+    const size_t bytes = 1 + (i * 7) % 100;
+    const size_t alignment = size_t{1} << (i % 4);  // 1, 2, 4, 8
+    char* p = static_cast<char*>(arena.Allocate(bytes, alignment));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignment, 0u);
+    // Writable without clobbering any earlier allocation.
+    std::memset(p, static_cast<int>(i), bytes);
+    allocs.emplace_back(p, bytes);
+  }
+  for (size_t i = 0; i < allocs.size(); ++i) {
+    for (size_t b = 0; b < allocs[i].second; ++b) {
+      ASSERT_EQ(static_cast<unsigned char>(allocs[i].first[b]),
+                static_cast<unsigned char>(i))
+          << "allocation " << i << " byte " << b;
+    }
+  }
+}
+
+TEST(Arena, CopyArrayPreservesContentAcrossChunkBoundaries) {
+  Arena arena;
+  std::vector<std::span<const Position>> copies;
+  std::vector<std::vector<Position>> originals;
+  // Large enough total to force several chunks.
+  for (size_t i = 0; i < 50; ++i) {
+    std::vector<Position> v(1000 + i);
+    std::iota(v.begin(), v.end(), static_cast<Position>(i));
+    copies.push_back(arena.CopyArray(std::span<const Position>(v)));
+    originals.push_back(std::move(v));
+  }
+  for (size_t i = 0; i < copies.size(); ++i) {
+    ASSERT_EQ(copies[i].size(), originals[i].size());
+    EXPECT_TRUE(std::equal(copies[i].begin(), copies[i].end(),
+                           originals[i].begin()));
+  }
+  EXPECT_GT(arena.bytes_reserved(), Arena::kDefaultChunkBytes);
+}
+
+TEST(Arena, EmptyAndOversizeRequests) {
+  Arena arena;
+  EXPECT_TRUE(arena.AllocateArray<Position>(0).empty());
+  EXPECT_TRUE(arena.CopyArray(std::span<const Position>{}).empty());
+  // A request larger than the max chunk still succeeds in one piece.
+  const size_t big = Arena::kMaxChunkBytes + 1024;
+  char* p = static_cast<char*>(arena.Allocate(big, 8));
+  std::memset(p, 0xAB, big);
+  EXPECT_GE(arena.bytes_allocated(), big);
+  EXPECT_GE(arena.bytes_reserved(), big);
+}
+
+TEST(Arena, ByteAccountingIsMonotonic) {
+  Arena arena;
+  size_t last = 0;
+  for (size_t i = 1; i <= 64; ++i) {
+    arena.Allocate(i * 16, 8);
+    EXPECT_GT(arena.bytes_allocated(), last);
+    last = arena.bytes_allocated();
+    EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+  }
+}
+
+#if GSGROW_HAS_ASAN
+// The whole point of the poisoning hooks: memory BETWEEN allocations of one
+// chunk must trap, exactly like reading past a heap vector would.
+TEST(Arena, RedZonesBetweenAllocationsArePoisoned) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.Allocate(32, 8));
+  char* b = static_cast<char*>(arena.Allocate(32, 8));
+  EXPECT_FALSE(__asan_address_is_poisoned(a));
+  EXPECT_FALSE(__asan_address_is_poisoned(a + 31));
+  EXPECT_FALSE(__asan_address_is_poisoned(b));
+  // One byte past allocation `a` lies in its red zone (b was placed at
+  // least kRedZoneBytes later).
+  EXPECT_GE(b - a, static_cast<ptrdiff_t>(32 + Arena::kRedZoneBytes));
+  EXPECT_TRUE(__asan_address_is_poisoned(a + 32));
+}
+#endif
+
+}  // namespace
+}  // namespace gsgrow
