@@ -24,6 +24,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <utility>
@@ -390,6 +391,121 @@ int main() {
       FormatSeconds(delta_snapshot_seconds).c_str(),
       FormatSeconds(reindex_seconds).c_str(),
       incremental_identical ? "identical" : "DIFFER (BUG)");
+
+  // --- Durability arm: the same append stream through the WAL (DESIGN.md
+  // §10), checkpoint write cost, and recovery timing. The in-memory stream
+  // above is the baseline; the deltas are the price of crash safety. ---
+  const std::string durable_dir =
+      (std::filesystem::temp_directory_path() / "gsgrow_bench_durable")
+          .string();
+  const auto stream_appends = [&](MiningService& svc) -> bool {
+    size_t live = half;  // mirrors `streamed.size()` in the baseline loop
+    for (size_t i = half; i < db.size(); ++i) {
+      const std::vector<EventId>& events = db[static_cast<SeqId>(i)].events();
+      if (i % 4 == 0 && live > 0) {
+        if (!svc.AppendIdsTo(static_cast<SeqId>(i % live), events).ok()) {
+          return false;
+        }
+      } else {
+        if (!svc.AppendIds(events).ok()) return false;
+        ++live;
+      }
+    }
+    return true;
+  };
+  const auto make_head = [&]() {
+    std::vector<Sequence> head(db.sequences().begin(),
+                               db.sequences().begin() + half);
+    return SequenceDatabase(std::move(head), db.dictionary());
+  };
+
+  double wal_none_seconds = 0;
+  double wal_batch_seconds = 0;
+  double checkpoint_seconds = 0;
+  double recover_wal_seconds = 0;
+  double recover_checkpoint_seconds = 0;
+  uint64_t wal_replay_records = 0;
+  bool durable_identical = true;
+  for (const bool group_commit : {false, true}) {
+    std::filesystem::remove_all(durable_dir);
+    DurabilityOptions options;
+    options.dir = durable_dir;
+    options.sync = group_commit ? DurabilityOptions::SyncMode::kGroupCommit
+                                : DurabilityOptions::SyncMode::kNone;
+    Result<std::unique_ptr<MiningService>> durable =
+        MiningService::OpenDurable(options);
+    if (!durable.ok() || !(*durable)->Ingest(make_head()).ok()) {
+      std::printf("durable open/ingest failed\n");
+      return 1;
+    }
+    (*durable)->Snapshot();
+    WallTimer stream_timer;
+    if (!stream_appends(**durable)) {
+      std::printf("durable append failed\n");
+      return 1;
+    }
+    (group_commit ? wal_batch_seconds : wal_none_seconds) =
+        stream_timer.ElapsedSeconds();
+    if (!group_commit) {
+      // Kill the service here: recovery replays the whole streamed tail.
+      durable->reset();
+      Result<std::unique_ptr<MiningService>> recovered =
+          MiningService::OpenDurable(options);
+      if (!recovered.ok()) {
+        std::printf("recovery failed: %s\n",
+                    recovered.status().ToString().c_str());
+        return 1;
+      }
+      recover_wal_seconds = (*recovered)->recovery_info().recover_seconds;
+      wal_replay_records = (*recovered)->recovery_info().wal_replay_records;
+      const MineResponse recovered_answer = MiningService::ExecuteOn(
+          *(*recovered)->Snapshot(), queries[0].request);
+      durable_identical =
+          SameAnswers(recovered_answer, incremental_answer);
+    } else {
+      WallTimer checkpoint_timer;
+      if (!(*durable)->Checkpoint().ok()) {
+        std::printf("checkpoint failed\n");
+        return 1;
+      }
+      checkpoint_seconds = checkpoint_timer.ElapsedSeconds();
+      durable->reset();
+      Result<std::unique_ptr<MiningService>> recovered =
+          MiningService::OpenDurable(options);
+      if (!recovered.ok()) {
+        std::printf("post-checkpoint recovery failed\n");
+        return 1;
+      }
+      recover_checkpoint_seconds =
+          (*recovered)->recovery_info().recover_seconds;
+    }
+  }
+  std::filesystem::remove_all(durable_dir);
+  identical = identical && durable_identical;
+  std::printf(
+      "durability: stream in-memory %s, wal(no sync) %s, wal(group commit) "
+      "%s; checkpoint %s; recover from wal %s (%llu records) vs from "
+      "checkpoint %s; recovered answers %s\n",
+      FormatSeconds(append_seconds).c_str(),
+      FormatSeconds(wal_none_seconds).c_str(),
+      FormatSeconds(wal_batch_seconds).c_str(),
+      FormatSeconds(checkpoint_seconds).c_str(),
+      FormatSeconds(recover_wal_seconds).c_str(),
+      static_cast<unsigned long long>(wal_replay_records),
+      FormatSeconds(recover_checkpoint_seconds).c_str(),
+      durable_identical ? "identical" : "DIFFER (BUG)");
+  json_rows.push_back(
+      "{\"bench\":\"serving_queries\",\"dataset\":\"" + dataset +
+      "\",\"config\":\"durability\",\"inmem_stream_seconds\":" +
+      std::to_string(append_seconds) +
+      ",\"wal_none_seconds\":" + std::to_string(wal_none_seconds) +
+      ",\"wal_group_commit_seconds\":" + std::to_string(wal_batch_seconds) +
+      ",\"checkpoint_seconds\":" + std::to_string(checkpoint_seconds) +
+      ",\"recover_ms\":" + std::to_string(recover_wal_seconds * 1000.0) +
+      ",\"wal_replay_records\":" + std::to_string(wal_replay_records) +
+      ",\"recover_from_checkpoint_ms\":" +
+      std::to_string(recover_checkpoint_seconds * 1000.0) +
+      ",\"identical\":" + (durable_identical ? "true" : "false") + "}");
 
   json_rows.push_back(
       "{\"bench\":\"serving_queries\",\"dataset\":\"" + dataset +

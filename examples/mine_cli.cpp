@@ -55,9 +55,11 @@ int main(int argc, char** argv) {
       format == "spmf" ? ReadSpmfDatabaseFile(input)
                        : ReadTextDatabaseFile(input);
   if (!loaded.ok()) {
+    // Exit codes follow ExitCodeForStatus across the CLIs: a missing input
+    // (3) is distinguishable from malformed content or I/O failure.
     std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
                  loaded.status().ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(loaded.status().code());
   }
   SequenceDatabase db = std::move(loaded).value();
   std::printf("%s\n", FormatStatsReport(input, db).c_str());
@@ -73,7 +75,7 @@ int main(int argc, char** argv) {
   Status ingest_status = service.Ingest(db);
   if (!ingest_status.ok()) {
     std::fprintf(stderr, "error: %s\n", ingest_status.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(ingest_status.code());
   }
 
   MineRequest request;
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
   MineResponse response = service.Execute(request);
   if (!response.status.ok()) {
     std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(response.status.code());
   }
   std::printf("%s mining (%zu threads): %llu patterns in %.2f s%s\n",
               algorithm.c_str(), ResolveNumThreads(options.num_threads),
@@ -180,7 +182,7 @@ int main(int argc, char** argv) {
     if (!st.ok()) {
       std::fprintf(stderr, "error writing %s: %s\n", output.c_str(),
                    st.ToString().c_str());
-      return 1;
+      return ExitCodeForStatus(st.code());
     }
     std::printf("\nwrote %zu patterns to %s\n", patterns.size(),
                 output.c_str());

@@ -1,17 +1,27 @@
 // Serving front-end: a long-lived mining service over stdin/stdout.
 //
 //   serve_cli [--input=db.txt] [--format=text|spmf]
+//             [--durable_dir=DIR] [--sync=none|batch|always]
+//             [--group_commit=N]
 //
 // Speaks the line-delimited protocol of io/request_io.h (append / extend /
-// mine / topk / batch / run / stats / quit); --input preloads a database
-// through the same MiningService::Ingest path mine_cli uses, after which
-// the corpus keeps growing via append/extend without ever re-indexing from
-// scratch. Pipe a script in to replay a session (the CI serve-smoke step
-// diffs exactly that against a golden transcript), or wrap a socket around
-// it later — the protocol is plain lines in both directions.
+// mine / topk / batch / run / stats / checkpoint / recover / quit);
+// --input preloads a database through the same MiningService::Ingest path
+// mine_cli uses, after which the corpus keeps growing via append/extend
+// without ever re-indexing from scratch. Pipe a script in to replay a
+// session (the CI serve-smoke step diffs exactly that against a golden
+// transcript), or wrap a socket around it later — the protocol is plain
+// lines in both directions.
+//
+// --durable_dir opens the service durably (DESIGN.md §10): mutations are
+// write-ahead logged to DIR, `checkpoint` spills an epoch-aligned snapshot,
+// and reopening the same DIR recovers the corpus (checkpoint + log-tail
+// replay) before the session starts. --input on a non-empty store is
+// rejected (Ingest requires an empty service).
 //
 // Exit status: 0 for a clean session, 1 when any command answered with an
-// error, 2 for startup failures.
+// error; startup failures exit with ExitCodeForStatus — 2 invalid
+// arguments, 3 missing file, 4 I/O error, 5 corrupt store.
 
 #include <cstdio>
 #include <iostream>
@@ -25,9 +35,65 @@
 
 using namespace gsgrow;
 
+namespace {
+
+int StartupFailure(const char* what, const std::string& detail,
+                   const Status& status) {
+  std::fprintf(stderr, "serve_cli: %s %s: %s\n", what, detail.c_str(),
+               status.ToString().c_str());
+  return ExitCodeForStatus(status.code());
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
-  MiningService service;
+
+  std::unique_ptr<MiningService> durable_service;
+  MiningService memory_service;
+  MiningService* service = &memory_service;
+
+  const std::string durable_dir = flags.GetString("durable_dir", "");
+  if (!durable_dir.empty()) {
+    DurabilityOptions options;
+    options.dir = durable_dir;
+    const std::string sync = flags.GetString("sync", "batch");
+    if (sync == "none") {
+      options.sync = DurabilityOptions::SyncMode::kNone;
+    } else if (sync == "batch") {
+      options.sync = DurabilityOptions::SyncMode::kGroupCommit;
+    } else if (sync == "always") {
+      options.sync = DurabilityOptions::SyncMode::kEveryAppend;
+    } else {
+      return StartupFailure(
+          "bad flag", "--sync=" + sync,
+          Status::InvalidArgument("expected none|batch|always"));
+    }
+    const int64_t group = flags.GetInt("group_commit", 32);
+    if (group < 1) {
+      return StartupFailure("bad flag",
+                            "--group_commit=" + std::to_string(group),
+                            Status::InvalidArgument("expected N >= 1"));
+    }
+    options.group_commit_appends = static_cast<size_t>(group);
+    Result<std::unique_ptr<MiningService>> opened =
+        MiningService::OpenDurable(options);
+    if (!opened.ok()) {
+      return StartupFailure("cannot open durable store", durable_dir,
+                            opened.status());
+    }
+    durable_service = std::move(*opened);
+    service = durable_service.get();
+    const RecoveryInfo& info = service->recovery_info();
+    std::fprintf(stderr,
+                 "serve_cli: recovered %llu sequences at epoch %llu "
+                 "(%llu wal records, checkpoint=%d, torn_tail=%d) in %.3f s\n",
+                 static_cast<unsigned long long>(info.recovered_sequences),
+                 static_cast<unsigned long long>(info.recovered_epoch),
+                 static_cast<unsigned long long>(info.wal_replay_records),
+                 info.recovered_checkpoint ? 1 : 0,
+                 info.torn_tail_dropped ? 1 : 0, info.recover_seconds);
+  }
 
   const std::string input = flags.GetString("input", "");
   if (!input.empty()) {
@@ -36,22 +102,18 @@ int main(int argc, char** argv) {
                                           ? ReadSpmfDatabaseFile(input)
                                           : ReadTextDatabaseFile(input);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "error reading %s: %s\n", input.c_str(),
-                   loaded.status().ToString().c_str());
-      return 2;
+      return StartupFailure("cannot read", input, loaded.status());
     }
-    Status st = service.Ingest(*loaded);
+    Status st = service->Ingest(*loaded);
     if (!st.ok()) {
-      std::fprintf(stderr, "error ingesting %s: %s\n", input.c_str(),
-                   st.ToString().c_str());
-      return 2;
+      return StartupFailure("cannot ingest", input, st);
     }
-    const ServiceStats stats = service.Stats();
+    const ServiceStats stats = service->Stats();
     std::fprintf(stderr, "serve_cli: preloaded %zu sequences (%llu events)\n",
                  stats.num_sequences,
                  static_cast<unsigned long long>(stats.total_events));
   }
 
-  const int errors = RunServeSession(service, std::cin, std::cout);
+  const int errors = RunServeSession(*service, std::cin, std::cout);
   return errors == 0 ? 0 : 1;
 }

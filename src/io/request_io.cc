@@ -163,13 +163,22 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
     command.verb = ServeCommand::Verb::kStats;
     return command;
   }
+  if (verb == "checkpoint") {
+    command.verb = ServeCommand::Verb::kCheckpoint;
+    return command;
+  }
+  if (verb == "recover") {
+    command.verb = ServeCommand::Verb::kRecover;
+    return command;
+  }
   if (verb == "quit" || verb == "exit") {
     command.verb = ServeCommand::Verb::kQuit;
     return command;
   }
   return Status::InvalidArgument(
       "unknown verb '" + verb +
-      "' (append, extend, mine, topk, batch, run, stats, quit)");
+      "' (append, extend, mine, topk, batch, run, stats, checkpoint, "
+      "recover, quit)");
 }
 
 std::string FormatMineResponse(const MineResponse& response,
@@ -201,6 +210,15 @@ std::string FormatServiceStats(const ServiceStats& stats) {
          " epoch=" + std::to_string(stats.epoch) +
          " appends=" + std::to_string(stats.appends) +
          " queries=" + std::to_string(stats.queries);
+}
+
+std::string FormatRecoveryInfo(const RecoveryInfo& info) {
+  return "recovered epoch=" + std::to_string(info.recovered_epoch) +
+         " sequences=" + std::to_string(info.recovered_sequences) +
+         " checkpoint=" + std::to_string(info.recovered_checkpoint ? 1 : 0) +
+         " checkpoint_epoch=" + std::to_string(info.checkpoint_epoch) +
+         " wal_records=" + std::to_string(info.wal_replay_records) +
+         " torn_tail=" + std::to_string(info.torn_tail_dropped ? 1 : 0);
 }
 
 }  // namespace gsgrow

@@ -15,6 +15,8 @@
 //   batch                                    start collecting mine/topk
 //   run [threads=N]                          execute the batch on ONE snapshot
 //   stats                                    corpus counters
+//   checkpoint                               spill a durable checkpoint
+//   recover                                  what OpenDurable found on disk
 //   quit                                     end the session
 //
 // Blank lines and '#' comments are skipped. Responses are single lines
@@ -49,6 +51,8 @@ struct ServeCommand {
     kBatch,
     kRun,
     kStats,
+    kCheckpoint,
+    kRecover,
     kQuit,
   };
 
@@ -83,6 +87,10 @@ std::string FormatMineResponse(const MineResponse& response,
 
 /// Formats the stats verb response (one line, no newline).
 std::string FormatServiceStats(const ServiceStats& stats);
+
+/// Formats the recover verb response (one line, no newline). Deliberately
+/// excludes wall-clock timing so the line is golden-diffable.
+std::string FormatRecoveryInfo(const RecoveryInfo& info);
 
 }  // namespace gsgrow
 

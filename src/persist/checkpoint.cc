@@ -1,0 +1,111 @@
+#include "persist/checkpoint.h"
+
+#include "persist/coding.h"
+#include "persist/crc32c.h"
+#include "persist/file_io.h"
+#include "util/logging.h"
+
+namespace gsgrow::persist {
+
+namespace {
+
+constexpr std::string_view kMagic = "GSGCKPT1";
+constexpr size_t kPageHeaderBytes = 9;  // crc(4) + len(4) + type(1)
+
+void AppendFramedPage(std::string* dst, uint8_t type,
+                      std::string_view payload) {
+  uint32_t crc = Crc32cExtend(0, &type, 1);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  PutFixed32(dst, MaskCrc(crc));
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->push_back(static_cast<char>(type));
+  dst->append(payload.data(), payload.size());
+}
+
+}  // namespace
+
+void CheckpointWriter::AddPage(uint8_t type, std::string_view payload) {
+  GSGROW_CHECK_MSG(type < kCheckpointFooterType,
+                   "page type collides with the footer");
+  if (!started_) {
+    buffer_.append(kMagic.data(), kMagic.size());
+    started_ = true;
+  }
+  AppendFramedPage(&buffer_, type, payload);
+  ++num_pages_;
+}
+
+Status CheckpointWriter::WriteTo(const std::string& path) {
+  if (!started_) buffer_.append(kMagic.data(), kMagic.size());
+  std::string footer;
+  PutFixed64(&footer, num_pages_);
+  AppendFramedPage(&buffer_, kCheckpointFooterType, footer);
+  const Status st = WriteFileAtomic(path, buffer_);
+  buffer_.clear();
+  num_pages_ = 0;
+  started_ = false;
+  return st;
+}
+
+Result<std::vector<CheckpointPage>> DecodeCheckpointBytes(
+    std::string_view data, const std::string& label) {
+  const auto corrupt = [&](const std::string& what) {
+    return Status::Corruption(label + ": " + what);
+  };
+  if (data.size() < kMagic.size() || data.substr(0, kMagic.size()) != kMagic) {
+    return corrupt("bad checkpoint magic");
+  }
+  std::vector<CheckpointPage> pages;
+  size_t offset = kMagic.size();
+  bool saw_footer = false;
+  uint64_t footer_pages = 0;
+  while (offset < data.size()) {
+    if (saw_footer) {
+      return corrupt("trailing bytes after footer at offset " +
+                     std::to_string(offset));
+    }
+    if (data.size() - offset < kPageHeaderBytes) {
+      return corrupt("truncated page header at offset " +
+                     std::to_string(offset));
+    }
+    const uint32_t stored_crc = DecodeFixed32(data.data() + offset);
+    const uint32_t length = DecodeFixed32(data.data() + offset + 4);
+    const uint8_t type = static_cast<uint8_t>(data[offset + 8]);
+    if (data.size() - offset - kPageHeaderBytes < length) {
+      return corrupt("truncated page payload at offset " +
+                     std::to_string(offset));
+    }
+    const char* body = data.data() + offset + kPageHeaderBytes;
+    uint32_t crc = Crc32cExtend(0, &type, 1);
+    crc = Crc32cExtend(crc, body, length);
+    if (MaskCrc(crc) != stored_crc) {
+      return corrupt("page checksum mismatch at offset " +
+                     std::to_string(offset));
+    }
+    if (type == kCheckpointFooterType) {
+      std::string_view footer(body, length);
+      size_t pos = 0;
+      if (!GetFixed64(footer, &pos, &footer_pages) || pos != footer.size()) {
+        return corrupt("malformed footer");
+      }
+      saw_footer = true;
+    } else {
+      pages.push_back(CheckpointPage{type, std::string(body, length)});
+    }
+    offset += kPageHeaderBytes + length;
+  }
+  if (!saw_footer) return corrupt("missing footer (truncated checkpoint)");
+  if (footer_pages != pages.size()) {
+    return corrupt("footer page count mismatch");
+  }
+  return pages;
+}
+
+Result<std::vector<CheckpointPage>> ReadCheckpointFile(
+    const std::string& path) {
+  Result<std::string> data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  return DecodeCheckpointBytes(*data, path);
+}
+
+}  // namespace gsgrow::persist

@@ -1,0 +1,75 @@
+// Paged checkpoint container (DESIGN.md §10).
+//
+// A checkpoint file is a magic header followed by self-delimiting pages,
+// each framed exactly like a WAL record:
+//
+//   "GSGCKPT1" [page]* [footer page]
+//   page = [masked crc32c : u32][payload length : u32][type : u8][payload]
+//
+// The container is dumb on purpose: it knows pages, checksums, and the
+// footer, not what the pages mean (serve/durability.h owns the section
+// schema). Unlike the WAL there is NO torn-tail tolerance — checkpoints
+// are published by atomic rename (persist/file_io.h), so a legitimate file
+// is always complete; anything short, unterminated, or checksum-mismatched
+// is Status(kCorruption). The footer page (container-reserved type 0xFF)
+// carries the page count and must end the file exactly: bit rot that
+// truncates or extends the file is caught even when every surviving page
+// checks out.
+
+#ifndef GSGROW_PERSIST_CHECKPOINT_H_
+#define GSGROW_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gsgrow::persist {
+
+/// Page type reserved for the container's footer; schema page types must
+/// stay below it.
+inline constexpr uint8_t kCheckpointFooterType = 0xFF;
+
+/// One decoded checkpoint page.
+struct CheckpointPage {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Accumulates pages in memory, then publishes them as one atomically
+/// renamed file. Checkpoints are bounded by the corpus snapshot they spill,
+/// which already lives in memory — staging the byte image costs one more
+/// copy and buys the all-or-nothing publish.
+class CheckpointWriter {
+ public:
+  /// Appends one page (type must be < kCheckpointFooterType).
+  void AddPage(uint8_t type, std::string_view payload);
+
+  /// Appends the footer and atomically publishes the file at `path`.
+  /// The writer is left empty, ready for reuse.
+  Status WriteTo(const std::string& path);
+
+  /// Bytes staged so far (header + pages, footer excluded).
+  size_t staged_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  uint64_t num_pages_ = 0;
+  bool started_ = false;
+};
+
+/// Reads and verifies every page of the checkpoint at `path` (footer
+/// excluded from the result). kCorruption on any framing, checksum, magic,
+/// or footer violation; NotFound when the file is absent.
+Result<std::vector<CheckpointPage>> ReadCheckpointFile(const std::string& path);
+
+/// Decode path over in-memory bytes (shared with the fault-injection
+/// tests).
+Result<std::vector<CheckpointPage>> DecodeCheckpointBytes(
+    std::string_view data, const std::string& label);
+
+}  // namespace gsgrow::persist
+
+#endif  // GSGROW_PERSIST_CHECKPOINT_H_

@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli) checksums for the durability layer (DESIGN.md §10).
+//
+// Every WAL record and checkpoint page carries a CRC32C over its type byte
+// and payload, so recovery can tell a torn write from a bit flip from a
+// clean record. The stored form is MASKED (rotate + offset, the
+// LevelDB/RocksDB idiom): storing a CRC of data that itself embeds CRCs
+// would otherwise weaken the check, and a masked CRC of all zeroes is not
+// zero — an all-zero preallocated region never verifies.
+
+#ifndef GSGROW_PERSIST_CRC32C_H_
+#define GSGROW_PERSIST_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gsgrow::persist {
+
+/// CRC32C of `data[0, n)`, seeded with `init_crc` (pass 0 for a fresh
+/// checksum; pass a previous return value to extend it over more bytes).
+uint32_t Crc32cExtend(uint32_t init_crc, const void* data, size_t n);
+
+/// CRC32C of `data[0, n)`.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+/// Masks a CRC for storage alongside the data it covers.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+/// Inverse of MaskCrc.
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  const uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace gsgrow::persist
+
+#endif  // GSGROW_PERSIST_CRC32C_H_

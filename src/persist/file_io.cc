@@ -1,0 +1,218 @@
+#include "persist/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gsgrow::persist {
+
+namespace {
+
+Status ErrnoStatus(const std::string& op, const std::string& path, int err) {
+  const std::string msg = op + " " + path + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(msg);
+  return Status::IOError(msg);
+}
+
+// The path of `path`'s parent directory ("." when there is no separator).
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<AppendOnlyFile> AppendOnlyFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return ErrnoStatus("fstat", path, err);
+  }
+  AppendOnlyFile file;
+  file.fd_ = fd;
+  file.offset_ = static_cast<uint64_t>(st.st_size);
+  return file;
+}
+
+AppendOnlyFile::AppendOnlyFile(AppendOnlyFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      offset_(std::exchange(other.offset_, 0)) {}
+
+AppendOnlyFile& AppendOnlyFile::operator=(AppendOnlyFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    offset_ = std::exchange(other.offset_, 0);
+  }
+  return *this;
+}
+
+AppendOnlyFile::~AppendOnlyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status AppendOnlyFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::IOError("append on closed file");
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", "append-only file", errno);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+    offset_ += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Sync() {
+  if (fd_ < 0) return Status::IOError("sync on closed file");
+  if (::fdatasync(fd_) != 0) {
+    return ErrnoStatus("fdatasync", "append-only file", errno);
+  }
+  return Status::OK();
+}
+
+Status AppendOnlyFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return ErrnoStatus("close", "append-only file", errno);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("open", path, errno);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("read", path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    // O_TRUNC: a leftover temp file from an earlier failed attempt is
+    // simply overwritten.
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open", tmp, errno);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return ErrnoStatus("write", tmp, err);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("fsync", tmp, err);
+    }
+    if (::close(fd) != 0) {
+      const int err = errno;
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("close", tmp, err);
+    }
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("rename", path, err);
+  }
+  // The rename is durable only once the directory entry is: without this
+  // sync a crash can resurrect the OLD file even though the caller saw the
+  // new one.
+  return SyncDir(ParentDir(path));
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return ErrnoStatus("stat", path, errno);
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IOError("not a directory: " + path);
+  }
+  return ErrnoStatus("mkdir", path, errno);
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) == 0 || errno == ENOENT) return Status::OK();
+  return ErrnoStatus("unlink", path, errno);
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoStatus("truncate", path, errno);
+  }
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open dir", path, errno);
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", path, err);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return ErrnoStatus("opendir", path, errno);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  ::closedir(dir);
+  return names;
+}
+
+}  // namespace gsgrow::persist

@@ -1,0 +1,94 @@
+// POSIX file primitives for the durability layer (DESIGN.md §10).
+//
+// Everything that touches the filesystem funnels through this file, so the
+// WAL and checkpoint code above it deal only in Status/Result values —
+// environmental failures (ENOSPC, EIO, a vanished directory) surface as
+// Status(kIOError) with the errno text, never as crashes. The two write
+// primitives encode the layer's crash-ordering contract:
+//
+//  * AppendOnlyFile — an fd opened O_APPEND whose Sync() is fdatasync: the
+//    WAL's "record is on disk before the in-memory mutation" point.
+//  * WriteFileAtomic — write to a temp name, fsync, rename over the target,
+//    fsync the directory: a reader never observes a half-written file, so
+//    checkpoints are all-or-nothing.
+
+#ifndef GSGROW_PERSIST_FILE_IO_H_
+#define GSGROW_PERSIST_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gsgrow::persist {
+
+/// Append-only file handle. Move-only; Close() (or destruction) releases
+/// the descriptor — the destructor never syncs, callers own that decision.
+class AppendOnlyFile {
+ public:
+  /// Opens `path` for appending, creating it if missing. The returned
+  /// handle's offset() starts at the current file size (reopening an
+  /// existing log continues where it left off).
+  static Result<AppendOnlyFile> Open(const std::string& path);
+
+  AppendOnlyFile() = default;
+  AppendOnlyFile(AppendOnlyFile&& other) noexcept;
+  AppendOnlyFile& operator=(AppendOnlyFile&& other) noexcept;
+  AppendOnlyFile(const AppendOnlyFile&) = delete;
+  AppendOnlyFile& operator=(const AppendOnlyFile&) = delete;
+  ~AppendOnlyFile();
+
+  /// Writes all of `data` at the end of the file (write() loop; partial
+  /// writes are continued, EINTR retried).
+  Status Append(std::string_view data);
+
+  /// Forces appended data to stable storage (fdatasync).
+  Status Sync();
+
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Logical end of the file: bytes present at Open() plus bytes appended
+  /// through this handle.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+};
+
+/// Reads the whole file into `out`. NotFound when it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `data` as `path` atomically: temp file + fsync + rename + parent
+/// directory fsync. On failure the target is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// True when `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Result<> wrapper around the file size. NotFound when absent.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Creates `path` as a directory if it is not one already.
+Status CreateDirIfMissing(const std::string& path);
+
+/// Removes one file; OK if it is already gone.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Truncates `path` to exactly `size` bytes (recovery cuts a torn WAL tail
+/// before the writer appends after it).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// fsyncs a directory so renames/creates/unlinks inside it are durable.
+Status SyncDir(const std::string& path);
+
+/// Names (not paths) of the entries in `path`, excluding "." and "..".
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+}  // namespace gsgrow::persist
+
+#endif  // GSGROW_PERSIST_FILE_IO_H_

@@ -53,6 +53,11 @@ Position AppendableDatabase::SequenceLength(SeqId seq) const {
   return static_cast<Position>(sequences_[seq].size());
 }
 
+std::span<const EventId> AppendableDatabase::SequenceEvents(SeqId seq) const {
+  GSGROW_CHECK_MSG(seq < sequences_.size(), "unknown sequence");
+  return sequences_[seq];
+}
+
 std::shared_ptr<const SequenceDatabase> AppendableDatabase::SnapshotDatabase() {
   if (cached_ != nullptr) return cached_;
   std::vector<Sequence> copies;

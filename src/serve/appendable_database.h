@@ -60,6 +60,11 @@ class AppendableDatabase {
   /// Current length of sequence `seq`.
   Position SequenceLength(SeqId seq) const;
 
+  /// Events of sequence `seq` (valid until the next mutation of that
+  /// sequence). The checkpoint writer spills the store through this view
+  /// without materializing a database snapshot.
+  std::span<const EventId> SequenceEvents(SeqId seq) const;
+
   /// Immutable database reflecting every append so far. Copy-on-write at
   /// store granularity: returns the cached snapshot when nothing changed
   /// since the last call, otherwise materializes a fresh SequenceDatabase

@@ -81,6 +81,16 @@ void IncrementalInvertedIndex::Record(SeqId seq, EventId e, Position p) {
   }
 }
 
+void IncrementalInvertedIndex::RestoreEpoch(uint64_t epoch) {
+  GSGROW_CHECK_MSG(epoch_ == 0, "RestoreEpoch after a snapshot was taken");
+  epoch_ = epoch;
+  // The re-fed corpus is not "new data": a snapshot taken right after
+  // recovery must report the checkpointed epoch, exactly as a snapshot
+  // taken right after the checkpoint did. The accumulators stay dirty, so
+  // that snapshot still freezes the world (a one-time O(corpus) cost).
+  changed_ = false;
+}
+
 Position IncrementalInvertedIndex::SequenceLength(SeqId seq) const {
   GSGROW_CHECK_MSG(seq < seqs_.size(), "unknown sequence");
   return seqs_[seq].length;

@@ -76,6 +76,17 @@ class IncrementalInvertedIndex {
   /// snapshots with equal epochs are views of the identical corpus.
   uint64_t epoch() const { return epoch_; }
 
+  /// True when the NEXT Snapshot() will advance the epoch (new data since
+  /// the last one, or no snapshot taken yet). The durability layer logs the
+  /// epoch advance as a WAL record before taking that snapshot.
+  bool pending_epoch_advance() const { return changed_ || epoch_ == 0; }
+
+  /// Recovery hook: pins the epoch counter to the checkpointed value after
+  /// the checkpointed corpus has been re-fed through AddSequence. Only
+  /// valid before the first Snapshot(); subsequent snapshots resume the
+  /// pre-crash epoch trajectory (serve/durability.h).
+  void RestoreEpoch(uint64_t epoch);
+
   size_t num_sequences() const { return seqs_.size(); }
   EventId alphabet_size() const {
     return static_cast<EventId>(events_.size());

@@ -1,6 +1,7 @@
 #include "serve/mining_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -9,11 +10,36 @@
 #include "core/gsgrow.h"
 #include "core/parallel_engine.h"
 #include "core/topk.h"
+#include "persist/file_io.h"
 #include "util/logging.h"
+#include "util/timer.h"
 
 namespace gsgrow {
 
 namespace {
+
+// Position-space guard shared by the append paths: validated up front so
+// oversized client input yields Status(kOutOfRange), not a GSGROW_CHECK
+// abort deep in the index (which still holds the same bound as an
+// invariant).
+Status CheckPositionSpace(size_t current_length, size_t appended) {
+  if (current_length + appended > static_cast<size_t>(kNoPosition)) {
+    return Status::OutOfRange("sequence position space exhausted (" +
+                              std::to_string(current_length) + " + " +
+                              std::to_string(appended) + " events)");
+  }
+  return Status::OK();
+}
+
+Status CheckEventIds(std::span<const EventId> events) {
+  for (const EventId e : events) {
+    if (e == kNoEvent) {
+      return Status::InvalidArgument("reserved event id " +
+                                     std::to_string(kNoEvent));
+    }
+  }
+  return Status::OK();
+}
 
 // Resolves the request's name-level event filter against the snapshot
 // dictionary into a sorted, deduplicated id list. Returns false when the
@@ -40,18 +66,115 @@ bool ResolveEventFilter(const MineRequest& request,
 
 }  // namespace
 
-SeqId MiningService::Append(const std::vector<std::string>& names) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<EventId> ids;
-  ids.reserve(names.size());
-  for (const std::string& name : names) {
-    ids.push_back(db_.dictionary().Intern(name));
+MiningService::~MiningService() {
+  if (durable_ && wal_.is_open()) {
+    // Best-effort: a clean shutdown leaves the whole log durable regardless
+    // of the sync policy.
+    wal_.Sync();
+    wal_.Close();
   }
-  const SeqId seq = db_.AddSequence(ids);
+}
+
+// ---------------------------------------------------------------------------
+// Durable mutation plumbing.
+
+Status MiningService::LogWalRecordLocked(serve::LogRecordType type,
+                                         const std::string& payload) {
+  if (!durable_) return Status::OK();
+  if (!wal_status_.ok()) return wal_status_;
+  Status status = wal_.Append(static_cast<uint8_t>(type), payload);
+  if (!status.ok()) wal_status_ = status;
+  return status;
+}
+
+Status MiningService::SyncWalLocked() {
+  if (!wal_status_.ok()) return wal_status_;
+  Status status = wal_.Sync();
+  if (!status.ok()) wal_status_ = status;
+  return status;
+}
+
+Status MiningService::MaybeSyncWalLocked(bool force) {
+  if (!durable_) return Status::OK();
+  switch (dopts_.sync) {
+    case DurabilityOptions::SyncMode::kEveryAppend:
+      return SyncWalLocked();
+    case DurabilityOptions::SyncMode::kGroupCommit:
+      if (force || ++unsynced_appends_ >= dopts_.group_commit_appends) {
+        unsynced_appends_ = 0;
+        return SyncWalLocked();
+      }
+      return Status::OK();
+    case DurabilityOptions::SyncMode::kNone:
+      return force ? SyncWalLocked() : Status::OK();
+  }
+  return Status::OK();
+}
+
+void MiningService::ResolveIdsLocked(
+    const std::vector<std::string>& names, std::vector<EventId>* ids,
+    std::vector<std::pair<EventId, const std::string*>>* fresh) const {
+  ids->reserve(names.size());
+  for (const std::string& name : names) {
+    EventId id = db_.dictionary().Lookup(name);
+    if (id == kNoEvent) {
+      // Maybe already pending within this very append (linear scan: appends
+      // carry few distinct new names).
+      for (const auto& [pending_id, pending_name] : *fresh) {
+        if (*pending_name == name) {
+          id = pending_id;
+          break;
+        }
+      }
+      if (id == kNoEvent) {
+        id = static_cast<EventId>(db_.dictionary().size() + fresh->size());
+        fresh->emplace_back(id, &name);
+      }
+    }
+    ids->push_back(id);
+  }
+}
+
+Status MiningService::LogMutationLocked(
+    const std::vector<std::pair<EventId, const std::string*>>& fresh,
+    serve::LogRecordType type, SeqId seq, std::span<const EventId> events) {
+  if (!durable_) return Status::OK();
+  // One mutation = one record: the interned names ride inside, so the CRC
+  // makes the whole mutation atomic against crashes.
+  serve::EncodeSequenceRecord(seq, fresh, events, &scratch_payload_);
+  GSGROW_RETURN_NOT_OK(LogWalRecordLocked(type, scratch_payload_));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Appends. Shape shared by all four paths: validate → log → mutate → sync.
+// The record hits the log (and per policy, the disk) before any in-memory
+// state changes; a WAL failure leaves memory untouched. A failed SYNC after
+// the mutation returns the error and sticks — the service refuses further
+// writes rather than letting memory and log diverge.
+
+Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, names.size()));
+  if (db_.size() >= static_cast<size_t>(kNoPosition)) {
+    return Status::OutOfRange("sequence id space exhausted");
+  }
+  std::vector<EventId> ids;
+  std::vector<std::pair<EventId, const std::string*>> fresh;
+  ResolveIdsLocked(names, &ids, &fresh);
+  const SeqId seq = static_cast<SeqId>(db_.size());
+  GSGROW_RETURN_NOT_OK(
+      LogMutationLocked(fresh, serve::LogRecordType::kAddSequence, seq, ids));
+  for (const auto& [id, name] : fresh) {
+    const EventId interned = db_.dictionary().Intern(*name);
+    GSGROW_CHECK(interned == id);
+  }
+  const SeqId db_seq = db_.AddSequence(ids);
   const SeqId index_seq = index_.AddSequence(ids);
-  GSGROW_CHECK(seq == index_seq);
+  GSGROW_CHECK(seq == db_seq && seq == index_seq);
   snapshot_cache_.reset();
   ++appends_;
+  GSGROW_RETURN_NOT_OK(MaybeSyncWalLocked(false));
   return seq;
 }
 
@@ -61,25 +184,40 @@ Status MiningService::AppendTo(SeqId seq,
   if (seq >= db_.size()) {
     return Status::NotFound("unknown sequence id " + std::to_string(seq));
   }
+  GSGROW_RETURN_NOT_OK(
+      CheckPositionSpace(db_.SequenceLength(seq), names.size()));
   std::vector<EventId> ids;
-  ids.reserve(names.size());
-  for (const std::string& name : names) {
-    ids.push_back(db_.dictionary().Intern(name));
+  std::vector<std::pair<EventId, const std::string*>> fresh;
+  ResolveIdsLocked(names, &ids, &fresh);
+  GSGROW_RETURN_NOT_OK(
+      LogMutationLocked(fresh, serve::LogRecordType::kAppendTo, seq, ids));
+  for (const auto& [id, name] : fresh) {
+    const EventId interned = db_.dictionary().Intern(*name);
+    GSGROW_CHECK(interned == id);
   }
   db_.AppendToSequence(seq, ids);
   index_.AppendToSequence(seq, ids);
   snapshot_cache_.reset();
   ++appends_;
-  return Status::OK();
+  return MaybeSyncWalLocked(false);
 }
 
-SeqId MiningService::AppendIds(std::span<const EventId> events) {
+Result<SeqId> MiningService::AppendIds(std::span<const EventId> events) {
   std::lock_guard<std::mutex> lock(mutex_);
-  const SeqId seq = db_.AddSequence(events);
+  GSGROW_RETURN_NOT_OK(CheckEventIds(events));
+  GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, events.size()));
+  if (db_.size() >= static_cast<size_t>(kNoPosition)) {
+    return Status::OutOfRange("sequence id space exhausted");
+  }
+  const SeqId seq = static_cast<SeqId>(db_.size());
+  GSGROW_RETURN_NOT_OK(
+      LogMutationLocked({}, serve::LogRecordType::kAddSequence, seq, events));
+  const SeqId db_seq = db_.AddSequence(events);
   const SeqId index_seq = index_.AddSequence(events);
-  GSGROW_CHECK(seq == index_seq);
+  GSGROW_CHECK(seq == db_seq && seq == index_seq);
   snapshot_cache_.reset();
   ++appends_;
+  GSGROW_RETURN_NOT_OK(MaybeSyncWalLocked(false));
   return seq;
 }
 
@@ -88,11 +226,16 @@ Status MiningService::AppendIdsTo(SeqId seq, std::span<const EventId> events) {
   if (seq >= db_.size()) {
     return Status::NotFound("unknown sequence id " + std::to_string(seq));
   }
+  GSGROW_RETURN_NOT_OK(CheckEventIds(events));
+  GSGROW_RETURN_NOT_OK(
+      CheckPositionSpace(db_.SequenceLength(seq), events.size()));
+  GSGROW_RETURN_NOT_OK(
+      LogMutationLocked({}, serve::LogRecordType::kAppendTo, seq, events));
   db_.AppendToSequence(seq, events);
   index_.AppendToSequence(seq, events);
   snapshot_cache_.reset();
   ++appends_;
-  return Status::OK();
+  return MaybeSyncWalLocked(false);
 }
 
 Status MiningService::Ingest(const SequenceDatabase& db) {
@@ -101,18 +244,54 @@ Status MiningService::Ingest(const SequenceDatabase& db) {
     return Status::InvalidArgument(
         "Ingest requires an empty service (ids are preserved)");
   }
+  if (durable_) {
+    // A bulk load is one logical commit: log the whole dictionary and every
+    // sequence, then force a sync at the boundary.
+    for (EventId id = 0; id < db.dictionary().size(); ++id) {
+      serve::EncodeInternRecord(id, db.dictionary().Name(id),
+                                &scratch_payload_);
+      GSGROW_RETURN_NOT_OK(
+          LogWalRecordLocked(serve::LogRecordType::kIntern, scratch_payload_));
+    }
+    for (SeqId seq = 0; seq < db.size(); ++seq) {
+      serve::EncodeSequenceRecord(seq, {}, db.sequences()[seq].events(),
+                                  &scratch_payload_);
+      GSGROW_RETURN_NOT_OK(LogWalRecordLocked(
+          serve::LogRecordType::kAddSequence, scratch_payload_));
+    }
+  }
   db_.Ingest(db);
   for (const Sequence& s : db.sequences()) {
     index_.AddSequence(s.events());
   }
   snapshot_cache_.reset();
   appends_ += db.size();
-  return Status::OK();
+  return MaybeSyncWalLocked(/*force=*/true);
 }
 
 std::shared_ptr<const ServiceSnapshot> MiningService::Snapshot() {
   std::lock_guard<std::mutex> lock(mutex_);
+  return SnapshotLocked();
+}
+
+std::shared_ptr<const ServiceSnapshot> MiningService::SnapshotLocked() {
   if (snapshot_cache_ == nullptr) {
+    if (durable_ && index_.pending_epoch_advance() && wal_status_.ok()) {
+      // Log the epoch trajectory: replay reproduces the pre-crash counter
+      // by re-running Snapshot() at exactly these points. Failure to log is
+      // reported on the NEXT mutation (sticky wal_status_) — the snapshot
+      // itself must stay infallible for readers.
+      serve::EncodeEpochRecord(index_.epoch() + 1, &scratch_payload_);
+      Status status = LogWalRecordLocked(serve::LogRecordType::kEpochAdvance,
+                                         scratch_payload_);
+      if (status.ok()) status = MaybeSyncWalLocked(false);
+      if (!status.ok()) {
+        std::fprintf(stderr,
+                     "[gsgrow] warning: wal epoch record failed (%s); "
+                     "service is now read-only\n",
+                     status.ToString().c_str());
+      }
+    }
     snapshot_cache_ = std::make_shared<const ServiceSnapshot>(
         ServiceSnapshot{index_.Snapshot(), db_.SnapshotDatabase(),
                         index_.epoch()});
@@ -241,6 +420,230 @@ ServiceStats MiningService::Stats() {
   stats.appends = appends_;
   stats.queries = queries_.load(std::memory_order_relaxed);
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+
+Status MiningService::ReplayFreshNames(const serve::LogRecord& record) {
+  for (const auto& [id, name] : record.fresh) {
+    if (id != db_.dictionary().size()) {
+      return Status::Corruption("wal replay: fresh name out of id order");
+    }
+    const EventId got = db_.dictionary().Intern(name);
+    if (got != id) {
+      return Status::Corruption("wal replay: fresh name '" + name +
+                                "' already interned");
+    }
+  }
+  return Status::OK();
+}
+
+Status MiningService::ReplayRecord(const serve::LogRecord& record) {
+  const auto corrupt = [](const std::string& what) {
+    return Status::Corruption("wal replay: " + what);
+  };
+  switch (record.type) {
+    case serve::LogRecordType::kIntern: {
+      if (record.event_id != db_.dictionary().size()) {
+        return corrupt("intern record out of id order");
+      }
+      const EventId got = db_.dictionary().Intern(record.name);
+      if (got != record.event_id) {
+        return corrupt("intern record re-defines name '" + record.name + "'");
+      }
+      return Status::OK();
+    }
+    case serve::LogRecordType::kAddSequence: {
+      if (record.seq != db_.size()) {
+        return corrupt("sequence record out of id order");
+      }
+      GSGROW_RETURN_NOT_OK(ReplayFreshNames(record));
+      GSGROW_RETURN_NOT_OK(CheckEventIds(record.events));
+      GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, record.events.size()));
+      const SeqId db_seq = db_.AddSequence(record.events);
+      const SeqId index_seq = index_.AddSequence(record.events);
+      GSGROW_CHECK(db_seq == record.seq && index_seq == record.seq);
+      ++appends_;
+      return Status::OK();
+    }
+    case serve::LogRecordType::kAppendTo: {
+      if (record.seq >= db_.size()) {
+        return corrupt("append record names an unknown sequence");
+      }
+      GSGROW_RETURN_NOT_OK(ReplayFreshNames(record));
+      GSGROW_RETURN_NOT_OK(CheckEventIds(record.events));
+      GSGROW_RETURN_NOT_OK(CheckPositionSpace(db_.SequenceLength(record.seq),
+                                              record.events.size()));
+      db_.AppendToSequence(record.seq, record.events);
+      index_.AppendToSequence(record.seq, record.events);
+      ++appends_;
+      return Status::OK();
+    }
+    case serve::LogRecordType::kEpochAdvance: {
+      // Re-run the snapshot the record witnessed; the counter must land on
+      // exactly the logged epoch or the trajectory diverged.
+      index_.Snapshot();
+      if (index_.epoch() != record.epoch) {
+        return corrupt("epoch trajectory mismatch (replayed " +
+                       std::to_string(index_.epoch()) + ", logged " +
+                       std::to_string(record.epoch) + ")");
+      }
+      return Status::OK();
+    }
+  }
+  return corrupt("unknown record type");
+}
+
+Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
+    const DurabilityOptions& options, const IndexBuildOptions& index_options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("DurabilityOptions.dir must be set");
+  }
+  if (options.sync == DurabilityOptions::SyncMode::kGroupCommit &&
+      options.group_commit_appends == 0) {
+    return Status::InvalidArgument("group_commit_appends must be >= 1");
+  }
+  GSGROW_RETURN_NOT_OK(persist::CreateDirIfMissing(options.dir));
+
+  WallTimer timer;
+  std::unique_ptr<MiningService> service(new MiningService(index_options));
+  service->durable_ = true;
+  service->dopts_ = options;
+  RecoveryInfo& info = service->recovery_;
+
+  // 1. Checkpoint, if one has been published.
+  uint64_t start_segment = 0;
+  if (persist::PathExists(serve::CheckpointPath(options.dir))) {
+    Result<serve::CheckpointState> ckpt =
+        serve::ReadServeCheckpoint(options.dir);
+    if (!ckpt.ok()) return ckpt.status();
+    for (size_t id = 0; id < ckpt->names.size(); ++id) {
+      const EventId got = service->db_.dictionary().Intern(ckpt->names[id]);
+      if (got != id) {
+        return Status::Corruption("serve checkpoint: duplicate name '" +
+                                  ckpt->names[id] + "'");
+      }
+    }
+    for (const std::vector<EventId>& events : ckpt->sequences) {
+      GSGROW_RETURN_NOT_OK(CheckEventIds(events));
+      GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, events.size()));
+      const SeqId db_seq = service->db_.AddSequence(events);
+      const SeqId index_seq = service->index_.AddSequence(events);
+      GSGROW_CHECK(db_seq == index_seq);
+    }
+    service->index_.RestoreEpoch(ckpt->epoch);
+    service->appends_ = ckpt->sequences.size();
+    start_segment = ckpt->wal_segment;
+    info.recovered_checkpoint = true;
+    info.checkpoint_epoch = ckpt->epoch;
+    info.checkpoint_sequences = ckpt->sequences.size();
+  }
+
+  // 2. The log tail: every segment >= the checkpoint's coverage point, in
+  // order, with no gaps. Segments below it are leftovers of a checkpoint
+  // whose cleanup was interrupted — deleted now, never replayed.
+  Result<std::vector<uint64_t>> segments =
+      serve::ListWalSegments(options.dir);
+  if (!segments.ok()) return segments.status();
+  std::vector<uint64_t> replay;
+  for (const uint64_t s : *segments) {
+    if (s < start_segment) {
+      GSGROW_RETURN_NOT_OK(persist::RemoveFileIfExists(
+          serve::WalSegmentPath(options.dir, s)));
+    } else {
+      replay.push_back(s);
+    }
+  }
+  for (size_t i = 0; i < replay.size(); ++i) {
+    if (replay[i] != start_segment + i) {
+      return Status::Corruption(
+          "missing wal segment " + std::to_string(start_segment + i) +
+          " (found " + std::to_string(replay[i]) + ")");
+    }
+  }
+
+  uint64_t active_segment = start_segment;
+  for (size_t i = 0; i < replay.size(); ++i) {
+    const bool last = i + 1 == replay.size();
+    const std::string path = serve::WalSegmentPath(options.dir, replay[i]);
+    // Only the final segment may end in a torn record; earlier ones were
+    // fully synced before their checkpoint rotation retired them.
+    Result<persist::WalReadResult> read =
+        persist::ReadWalFile(path, /*tolerate_torn_tail=*/last);
+    if (!read.ok()) return read.status();
+    for (const persist::WalRecord& raw : read->records) {
+      Result<serve::LogRecord> decoded = serve::DecodeLogRecord(raw);
+      if (!decoded.ok()) return decoded.status();
+      GSGROW_RETURN_NOT_OK(service->ReplayRecord(*decoded));
+      ++info.wal_replay_records;
+    }
+    if (read->torn_tail) {
+      info.torn_tail_dropped = true;
+      // Cut the torn bytes so the reopened writer appends after the last
+      // intact record instead of concatenating onto garbage.
+      GSGROW_RETURN_NOT_OK(persist::TruncateFile(path, read->valid_bytes));
+    }
+    active_segment = replay[i];
+  }
+
+  // 3. Resume logging at the end of the last (possibly brand-new) segment.
+  Result<persist::WalWriter> wal =
+      persist::WalWriter::Open(serve::WalSegmentPath(options.dir,
+                                                     active_segment));
+  if (!wal.ok()) return wal.status();
+  service->wal_ = std::move(*wal);
+  service->wal_segment_ = active_segment;
+  GSGROW_RETURN_NOT_OK(persist::SyncDir(options.dir));
+
+  info.recovered_sequences = service->db_.size();
+  info.recovered_epoch = service->index_.epoch();
+  info.recover_seconds = timer.ElapsedSeconds();
+  return service;
+}
+
+Status MiningService::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!durable_) {
+    return Status::InvalidArgument("checkpoint on a non-durable service");
+  }
+  if (!wal_status_.ok()) return wal_status_;
+  // Settle the epoch (and its trajectory record) so the spilled counter is
+  // the one a reader of this corpus observes.
+  SnapshotLocked();
+  if (!wal_status_.ok()) return wal_status_;
+  GSGROW_RETURN_NOT_OK(SyncWalLocked());
+
+  // Rotate FIRST: the new segment must exist before the checkpoint names it
+  // as the first uncovered one. A crash anywhere in this window recovers
+  // from the OLD checkpoint over the still-contiguous segment run.
+  const uint64_t next_segment = wal_segment_ + 1;
+  Result<persist::WalWriter> fresh =
+      persist::WalWriter::Open(serve::WalSegmentPath(dopts_.dir,
+                                                     next_segment));
+  if (!fresh.ok()) return fresh.status();
+  GSGROW_RETURN_NOT_OK(persist::SyncDir(dopts_.dir));
+  wal_.Close();
+  wal_ = std::move(*fresh);
+  wal_segment_ = next_segment;
+  unsynced_appends_ = 0;
+
+  GSGROW_RETURN_NOT_OK(serve::WriteServeCheckpoint(dopts_.dir, db_,
+                                                   index_.epoch(),
+                                                   next_segment));
+
+  // The covered prefix is garbage now; deletion failures are retried by the
+  // next open (stale segments below the checkpoint are removed there too).
+  Result<std::vector<uint64_t>> segments = serve::ListWalSegments(dopts_.dir);
+  if (segments.ok()) {
+    for (const uint64_t s : *segments) {
+      if (s < next_segment) {
+        persist::RemoveFileIfExists(serve::WalSegmentPath(dopts_.dir, s));
+      }
+    }
+    persist::SyncDir(dopts_.dir);
+  }
+  return Status::OK();
 }
 
 }  // namespace gsgrow

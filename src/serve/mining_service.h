@@ -16,6 +16,12 @@
 // never perturb a running query. ExecuteBatch shares one snapshot across
 // the whole request vector and dispenses requests to a worker pool with the
 // same atomic-cursor idiom as the PR-3 root dispenser.
+//
+// Durability (DESIGN.md §10): a service opened with OpenDurable writes every
+// mutation to a write-ahead log BEFORE touching in-memory state, spills
+// epoch-aligned checkpoints on demand, and recovers from
+// checkpoint + log-tail replay on reopen. A default-constructed service is
+// purely in-memory, with zero durability overhead on any path.
 
 #ifndef GSGROW_SERVE_MINING_SERVICE_H_
 #define GSGROW_SERVE_MINING_SERVICE_H_
@@ -33,7 +39,9 @@
 #include "core/mining_result.h"
 #include "core/reference.h"
 #include "core/sequence_database.h"
+#include "persist/wal.h"
 #include "serve/appendable_database.h"
+#include "serve/durability.h"
 #include "serve/incremental_index.h"
 #include "util/status.h"
 
@@ -99,6 +107,38 @@ struct ServiceStats {
   uint64_t queries = 0;
 };
 
+/// How a durable service is opened (DESIGN.md §10).
+struct DurabilityOptions {
+  /// Directory holding the CHECKPOINT file and wal-<seq>.log segments.
+  /// Created if missing. Must be set.
+  std::string dir;
+
+  /// When appended WAL records are forced to stable storage. Records are
+  /// always WRITTEN (fsync-able) before the in-memory mutation; this policy
+  /// governs only the fdatasync cadence.
+  enum class SyncMode {
+    kNone,         // no fsync except checkpoints / bulk-load boundaries
+    kGroupCommit,  // fsync every `group_commit_appends` mutations
+    kEveryAppend,  // fsync after every mutation
+  };
+  SyncMode sync = SyncMode::kGroupCommit;
+
+  /// Group-commit batch size (kGroupCommit only).
+  size_t group_commit_appends = 32;
+};
+
+/// What OpenDurable found on disk, for operators and the `recover` verb.
+struct RecoveryInfo {
+  bool recovered_checkpoint = false;
+  uint64_t checkpoint_epoch = 0;
+  uint64_t checkpoint_sequences = 0;
+  uint64_t wal_replay_records = 0;
+  bool torn_tail_dropped = false;
+  uint64_t recovered_sequences = 0;
+  uint64_t recovered_epoch = 0;
+  double recover_seconds = 0.0;
+};
+
 class MiningService {
  public:
   MiningService() = default;
@@ -111,17 +151,32 @@ class MiningService {
 
   MiningService(const MiningService&) = delete;
   MiningService& operator=(const MiningService&) = delete;
+  ~MiningService();
 
-  /// Appends a new sequence of event names; returns its id.
-  SeqId Append(const std::vector<std::string>& names);
+  /// Opens (or creates) a durable service backed by `options.dir`: applies
+  /// the checkpoint if one exists, replays the WAL tail, truncates a torn
+  /// final record, and resumes logging at the end of the last segment.
+  /// Status(kCorruption) — never a crash — on mid-log checksum mismatches,
+  /// missing segments, or checkpoint damage.
+  static Result<std::unique_ptr<MiningService>> OpenDurable(
+      const DurabilityOptions& options,
+      const IndexBuildOptions& index_options = {});
 
-  /// Appends events to the end of existing sequence `seq`.
+  /// Appends a new sequence of event names; returns its id. Bad input
+  /// (position-space exhaustion) and WAL failures come back as a Status —
+  /// client data never fires an invariant check.
+  Result<SeqId> Append(const std::vector<std::string>& names);
+
+  /// Appends events to the end of existing sequence `seq`. NotFound for an
+  /// unknown id, OutOfRange when the sequence's position space would
+  /// overflow — validated BEFORE anything is logged or mutated.
   Status AppendTo(SeqId seq, const std::vector<std::string>& names);
 
   /// Id-based variants for programmatic feeds (generators, replicated
   /// streams) whose alphabet is managed by the caller — the dictionary is
-  /// bypassed, names synthesize as "e<id>".
-  SeqId AppendIds(std::span<const EventId> events);
+  /// bypassed, names synthesize as "e<id>". InvalidArgument on the reserved
+  /// id kNoEvent.
+  Result<SeqId> AppendIds(std::span<const EventId> events);
   Status AppendIdsTo(SeqId seq, std::span<const EventId> events);
 
   /// Bulk ingestion of a parsed database into an EMPTY service — the one
@@ -160,7 +215,40 @@ class MiningService {
 
   ServiceStats Stats();
 
+  /// Spills the current corpus as an epoch-aligned checkpoint, rotates to a
+  /// fresh WAL segment, and deletes the covered log prefix. kInvalidArgument
+  /// on a non-durable service. Crash-safe at every step: until the atomic
+  /// checkpoint rename lands, recovery uses the previous checkpoint plus
+  /// the full (still contiguous) segment run.
+  Status Checkpoint();
+
+  bool durable() const { return durable_; }
+
+  /// What OpenDurable found (zeroed for in-memory services).
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
  private:
+  // Durable mutation plumbing (all called with mutex_ held).
+  Status LogWalRecordLocked(serve::LogRecordType type,
+                            const std::string& payload);
+  Status SyncWalLocked();
+  Status MaybeSyncWalLocked(bool force);
+  // Resolves names to ids without interning; new names get the ids they
+  // WILL receive (first-use order) so intern records can be logged before
+  // the dictionary mutates.
+  void ResolveIdsLocked(
+      const std::vector<std::string>& names, std::vector<EventId>* ids,
+      std::vector<std::pair<EventId, const std::string*>>* fresh) const;
+  // Logs intern records for `fresh` + one sequence record, per sync policy.
+  Status LogMutationLocked(
+      const std::vector<std::pair<EventId, const std::string*>>& fresh,
+      serve::LogRecordType type, SeqId seq, std::span<const EventId> events);
+  std::shared_ptr<const ServiceSnapshot> SnapshotLocked();
+  // Applies one replayed WAL record; kCorruption when it contradicts the
+  // state built so far (single-threaded, called only from OpenDurable).
+  Status ReplayRecord(const serve::LogRecord& record);
+  Status ReplayFreshNames(const serve::LogRecord& record);
+
   std::mutex mutex_;  // serializes appends, snapshots, stats
   AppendableDatabase db_;
   IncrementalInvertedIndex index_;
@@ -169,6 +257,18 @@ class MiningService {
   std::shared_ptr<const ServiceSnapshot> snapshot_cache_;
   uint64_t appends_ = 0;
   std::atomic<uint64_t> queries_{0};
+
+  // Durability state (untouched for in-memory services).
+  bool durable_ = false;
+  DurabilityOptions dopts_;
+  persist::WalWriter wal_;
+  uint64_t wal_segment_ = 0;
+  size_t unsynced_appends_ = 0;
+  // Sticky: once a WAL write or sync fails, every later mutation fails fast
+  // with the original error instead of diverging memory from the log.
+  Status wal_status_;
+  RecoveryInfo recovery_;
+  std::string scratch_payload_;  // reused record-encoding buffer
 };
 
 }  // namespace gsgrow

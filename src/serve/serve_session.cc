@@ -46,8 +46,12 @@ int RunServeSession(MiningService& service, std::istream& in,
     }
     switch (command.verb) {
       case ServeCommand::Verb::kAppend: {
-        const SeqId seq = service.Append(command.events);
-        out << "ok seq=" << seq << " len=" << command.events.size() << "\n";
+        const Result<SeqId> seq = service.Append(command.events);
+        if (!seq.ok()) {
+          fail(seq.status());
+          break;
+        }
+        out << "ok seq=" << *seq << " len=" << command.events.size() << "\n";
         break;
       }
       case ServeCommand::Verb::kExtend: {
@@ -107,6 +111,23 @@ int RunServeSession(MiningService& service, std::istream& in,
       }
       case ServeCommand::Verb::kStats: {
         out << FormatServiceStats(service.Stats()) << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kCheckpoint: {
+        const Status st = service.Checkpoint();
+        if (!st.ok()) {
+          fail(st);
+          break;
+        }
+        out << "ok checkpoint epoch=" << service.Stats().epoch << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kRecover: {
+        if (!service.durable()) {
+          fail(Status::InvalidArgument("recover on a non-durable service"));
+          break;
+        }
+        out << FormatRecoveryInfo(service.recovery_info()) << "\n";
         break;
       }
       case ServeCommand::Verb::kQuit: {

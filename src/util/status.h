@@ -25,6 +25,23 @@ enum class StatusCode {
   kUnimplemented,
 };
 
+/// Process exit code for a CLI that failed with `code`. 0 for kOk, 1 is
+/// reserved for generic/usage failures, then one stable code per category so
+/// scripts (and the CI fault-injection harness) can distinguish a bad flag
+/// (2) from a missing file (3/4) from a damaged store (5).
+inline int ExitCodeForStatus(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kNotFound: return 3;
+    case StatusCode::kIOError: return 4;
+    case StatusCode::kCorruption: return 5;
+    case StatusCode::kOutOfRange: return 6;
+    case StatusCode::kUnimplemented: return 7;
+  }
+  return 1;
+}
+
 /// Returns a short human-readable name for a status code ("IOError", ...).
 inline const char* StatusCodeName(StatusCode code) {
   switch (code) {

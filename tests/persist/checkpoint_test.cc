@@ -1,0 +1,122 @@
+// Checkpoint container tests (DESIGN.md §10): pages round-trip, and —
+// unlike the WAL — ANY damage is Status(kCorruption), because checkpoints
+// are published atomically and a legitimate file is always complete.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "persist/checkpoint.h"
+#include "persist/file_io.h"
+
+namespace gsgrow::persist {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string WriteAndSlurp(const std::vector<CheckpointPage>& pages) {
+  // Per-test scratch name: ctest runs these tests as concurrent processes.
+  const std::string path = TempPath(
+      std::string("gsgrow_ckpt_test_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      ".bin");
+  std::filesystem::remove(path);
+  CheckpointWriter writer;
+  for (const CheckpointPage& p : pages) writer.AddPage(p.type, p.payload);
+  EXPECT_TRUE(writer.WriteTo(path).ok());
+  Result<std::string> data = ReadFileToString(path);
+  EXPECT_TRUE(data.ok());
+  std::filesystem::remove(path);
+  return *data;
+}
+
+TEST(Checkpoint, RoundTripThroughFile) {
+  const std::string path = TempPath("gsgrow_ckpt_roundtrip.bin");
+  std::filesystem::remove(path);
+  CheckpointWriter writer;
+  writer.AddPage(1, "meta");
+  writer.AddPage(2, std::string(5000, 'd'));
+  writer.AddPage(3, "");
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  Result<std::vector<CheckpointPage>> pages = ReadCheckpointFile(path);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_EQ(pages->size(), 3u);
+  EXPECT_EQ((*pages)[0].type, 1);
+  EXPECT_EQ((*pages)[0].payload, "meta");
+  EXPECT_EQ((*pages)[1].payload.size(), 5000u);
+  EXPECT_EQ((*pages)[2].payload, "");
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, WriterIsReusableAfterPublish) {
+  const std::string path = TempPath("gsgrow_ckpt_reuse.bin");
+  CheckpointWriter writer;
+  writer.AddPage(1, "one");
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  writer.AddPage(1, "two");
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  Result<std::vector<CheckpointPage>> pages = ReadCheckpointFile(path);
+  ASSERT_TRUE(pages.ok());
+  ASSERT_EQ(pages->size(), 1u);
+  EXPECT_EQ((*pages)[0].payload, "two");
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingFileIsNotFound) {
+  Result<std::vector<CheckpointPage>> pages =
+      ReadCheckpointFile(TempPath("gsgrow_ckpt_never_written.bin"));
+  ASSERT_FALSE(pages.ok());
+  EXPECT_EQ(pages.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Checkpoint, EveryTruncationIsCorruption) {
+  const std::string data = WriteAndSlurp({{1, "meta"}, {2, "payload"}});
+  for (size_t cut = 0; cut < data.size(); ++cut) {
+    Result<std::vector<CheckpointPage>> pages =
+        DecodeCheckpointBytes(data.substr(0, cut), "test");
+    ASSERT_FALSE(pages.ok()) << "cut=" << cut;
+    EXPECT_EQ(pages.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+  }
+}
+
+TEST(Checkpoint, EveryByteFlipIsCorruption) {
+  const std::string data = WriteAndSlurp({{1, "meta"}, {2, "payload"}});
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (const unsigned char flip : {0x01, 0x80}) {
+      std::string damaged = data;
+      damaged[i] = static_cast<char>(damaged[i] ^ flip);
+      Result<std::vector<CheckpointPage>> pages =
+          DecodeCheckpointBytes(damaged, "test");
+      // A flip can never be silently absorbed: magic, page CRCs, the footer
+      // CRC, and the footer's page count cover every byte.
+      ASSERT_FALSE(pages.ok()) << "byte=" << i << " flip=" << int(flip);
+      EXPECT_EQ(pages.status().code(), StatusCode::kCorruption);
+    }
+  }
+}
+
+TEST(Checkpoint, TrailingGarbageIsCorruption) {
+  std::string data = WriteAndSlurp({{1, "meta"}});
+  data += "x";
+  Result<std::vector<CheckpointPage>> pages =
+      DecodeCheckpointBytes(data, "test");
+  ASSERT_FALSE(pages.ok());
+  EXPECT_EQ(pages.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Checkpoint, EmptyPageListStillFramesValidly) {
+  const std::string path = TempPath("gsgrow_ckpt_empty.bin");
+  CheckpointWriter writer;
+  ASSERT_TRUE(writer.WriteTo(path).ok());
+  Result<std::vector<CheckpointPage>> pages = ReadCheckpointFile(path);
+  ASSERT_TRUE(pages.ok());
+  EXPECT_TRUE(pages->empty());
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gsgrow::persist

@@ -1,0 +1,270 @@
+// Table-driven fault injection against the durable directory (DESIGN.md
+// §10): one canonical checkpoint + log-tail layout, one fault per table
+// row targeting a specific byte region of the on-disk format, and the
+// EXACT Status contract OpenDurable must honor for it.
+//
+// The persist-layer tests prove the framing primitives (every checkpoint
+// byte flip is kCorruption, every WAL truncation classifies as torn);
+// this suite proves the END-TO-END contract: a damaged directory opens as
+// ok / kCorruption exactly as documented, with the right amount of state,
+// and never anything worse.
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/file_io.h"
+#include "persist/wal.h"
+#include "serve/durability.h"
+#include "serve/mining_service.h"
+#include "util/status.h"
+
+namespace gsgrow {
+namespace {
+
+// WAL frame layout (persist/wal.h): [crc u32][len u32][type u8][payload].
+constexpr size_t kCrcOffset = 0;
+constexpr size_t kLenOffset = 4;
+constexpr size_t kTypeOffset = 8;
+constexpr size_t kPayloadOffset = 9;
+
+struct Fault {
+  const char* name;
+  // Rewrites the trial directory's files from the canonical bytes.
+  std::function<void(const std::string& dir, const std::string& checkpoint,
+                     const std::string& tail)>
+      inject;
+  // What OpenDurable must return.
+  StatusCode expected = StatusCode::kCorruption;
+  // For kOk faults: sequences the recovered service must hold.
+  size_t expected_sequences = 0;
+};
+
+std::string FlipByte(const std::string& bytes, size_t at, uint8_t mask) {
+  std::string out = bytes;
+  out[at] = static_cast<char>(out[at] ^ mask);
+  return out;
+}
+
+void PutCheckpoint(const std::string& dir, const std::string& bytes) {
+  ASSERT_TRUE(persist::WriteFileAtomic(serve::CheckpointPath(dir), bytes).ok());
+}
+
+void PutSegment(const std::string& dir, uint64_t segment,
+                const std::string& bytes) {
+  ASSERT_TRUE(
+      persist::WriteFileAtomic(serve::WalSegmentPath(dir, segment), bytes)
+          .ok());
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // Canonical durable directory: 2 sequences checkpointed at epoch 1, then
+  // two post-checkpoint appends in wal-000001.log. (Checkpoint() logs the
+  // epoch advance to the segment it retires, so the tail is exactly the
+  // two composite mutation records.)
+  void SetUp() override {
+    // Per-test directories: ctest runs the tests of this suite as
+    // concurrent processes.
+    const std::string test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("gsgrow_fault_canon_" + test_name))
+               .string();
+    trial_ = (std::filesystem::temp_directory_path() /
+              ("gsgrow_fault_trial_" + test_name))
+                 .string();
+    std::filesystem::remove_all(dir_);
+    DurabilityOptions options;
+    options.dir = dir_;
+    options.sync = DurabilityOptions::SyncMode::kNone;
+    Result<std::unique_ptr<MiningService>> service =
+        MiningService::OpenDurable(options);
+    ASSERT_TRUE(service.ok());
+    ASSERT_TRUE((*service)->Append({"a", "b", "a"}).ok());
+    ASSERT_TRUE((*service)->Append({"b", "c"}).ok());
+    ASSERT_TRUE((*service)->Checkpoint().ok());
+    ASSERT_TRUE((*service)->Append({"c", "a", "d"}).ok());
+    ASSERT_TRUE((*service)->Append({"d", "b"}).ok());
+    service->reset();
+
+    Result<std::string> checkpoint =
+        persist::ReadFileToString(serve::CheckpointPath(dir_));
+    ASSERT_TRUE(checkpoint.ok());
+    checkpoint_ = *checkpoint;
+    Result<std::string> tail =
+        persist::ReadFileToString(serve::WalSegmentPath(dir_, 1));
+    ASSERT_TRUE(tail.ok());
+    tail_ = *tail;
+    Result<persist::WalReadResult> decoded =
+        persist::DecodeWalBytes(tail_, /*tolerate_torn_tail=*/false, "canon");
+    ASSERT_TRUE(decoded.ok());
+    ASSERT_EQ(decoded->records.size(), 2u);
+    first_record_end_ = kPayloadOffset + decoded->records[0].payload.size();
+    ASSERT_LT(first_record_end_, tail_.size());
+  }
+
+  void TearDown() override {
+    std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(trial_);
+  }
+
+  Result<std::unique_ptr<MiningService>> OpenTrial() {
+    DurabilityOptions options;
+    options.dir = trial_;
+    return MiningService::OpenDurable(options);
+  }
+
+  void RunTable(const std::vector<Fault>& faults) {
+    for (const Fault& fault : faults) {
+      std::filesystem::remove_all(trial_);
+      ASSERT_TRUE(persist::CreateDirIfMissing(trial_).ok());
+      fault.inject(trial_, checkpoint_, tail_);
+      if (HasFatalFailure()) return;
+      Result<std::unique_ptr<MiningService>> opened = OpenTrial();
+      EXPECT_EQ(opened.status().code(), fault.expected)
+          << fault.name << ": " << opened.status().message();
+      if (fault.expected == StatusCode::kOk && opened.ok()) {
+        EXPECT_EQ((*opened)->Stats().num_sequences, fault.expected_sequences)
+            << fault.name;
+      }
+    }
+  }
+
+  std::string dir_;
+  std::string trial_;
+  std::string checkpoint_;
+  std::string tail_;
+  size_t first_record_end_ = 0;  // byte offset where tail record 1 starts
+};
+
+TEST_F(FaultInjectionTest, WalRecordRegions) {
+  RunTable({
+      {"crc field flipped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, FlipByte(t, kCrcOffset, 0x01));
+       }},
+      {"length field flipped (record misframed, still inside file)",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, FlipByte(t, kLenOffset, 0x01));
+       }},
+      {"type byte flipped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, FlipByte(t, kTypeOffset, 0x04));
+       }},
+      {"payload byte flipped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, FlipByte(t, kPayloadOffset, 0x80));
+       }},
+      {"crc-valid record of an unknown type",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t);
+         Result<persist::WalWriter> w =
+             persist::WalWriter::Open(serve::WalSegmentPath(d, 1));
+         ASSERT_TRUE(w.ok());
+         ASSERT_TRUE(w->Append(99, "not a serving record").ok());
+         ASSERT_TRUE(w->Close().ok());
+       }},
+  });
+}
+
+TEST_F(FaultInjectionTest, WalTornTailContract) {
+  RunTable({
+      {"final record cut mid-payload: torn tail, dropped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t.substr(0, t.size() - 2));
+       },
+       StatusCode::kOk, /*expected_sequences=*/3},
+      {"final record cut mid-header: torn tail, dropped",
+       [this](const std::string& d, const std::string& c,
+              const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t.substr(0, first_record_end_ + 3));
+       },
+       StatusCode::kOk, /*expected_sequences=*/3},
+      {"first record already torn: whole tail dropped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t.substr(0, 4));
+       },
+       StatusCode::kOk, /*expected_sequences=*/2},
+      {"same cut on a NON-final segment: corruption",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t.substr(0, t.size() - 2));
+         PutSegment(d, 2, "");  // a later segment exists => 1 is not final
+       }},
+  });
+}
+
+TEST_F(FaultInjectionTest, WalSegmentRunRegions) {
+  RunTable({
+      {"covered segment missing (checkpoint names segment 1, dir has 2)",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 2, t);
+       }},
+      {"gap inside the segment run",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 1, t);
+         PutSegment(d, 3, "");  // 2 is missing
+       }},
+      {"checkpoint deleted out from under its rotated log",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutSegment(d, 1, t);  // no checkpoint => replay must start at 0
+       }},
+      {"stale pre-checkpoint segment is ignored",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c);
+         PutSegment(d, 0, "garbage bytes that never get read");
+         PutSegment(d, 1, t);
+       },
+       StatusCode::kOk, /*expected_sequences=*/4},
+  });
+}
+
+TEST_F(FaultInjectionTest, CheckpointRegions) {
+  const size_t meta_offset = 8 + kPayloadOffset + 4;  // into the meta page
+  RunTable({
+      {"magic flipped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, FlipByte(c, 0, 0x01));
+         PutSegment(d, 1, t);
+       }},
+      {"meta page byte flipped",
+       [meta_offset](const std::string& d, const std::string& c,
+                     const std::string& t) {
+         PutCheckpoint(d, FlipByte(c, meta_offset, 0x01));
+         PutSegment(d, 1, t);
+       }},
+      {"footer byte flipped",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, FlipByte(c, c.size() - 1, 0x01));
+         PutSegment(d, 1, t);
+       }},
+      {"checkpoint truncated (no torn-tail tolerance for checkpoints)",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c.substr(0, c.size() / 2));
+         PutSegment(d, 1, t);
+       }},
+      {"trailing garbage after the footer",
+       [](const std::string& d, const std::string& c, const std::string& t) {
+         PutCheckpoint(d, c + "extra");
+         PutSegment(d, 1, t);
+       }},
+  });
+}
+
+}  // namespace
+}  // namespace gsgrow

@@ -3,6 +3,8 @@
 // serve-smoke step; this suite pins its observable behavior — response
 // shapes, epochs, batch semantics, error recovery — down to the byte.
 
+#include <filesystem>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -140,6 +142,53 @@ TEST(ServeSession, EndsAtEofWithoutQuit) {
   const SessionResult result = RunScript("append A B\nstats\n");
   EXPECT_EQ(result.errors, 0);
   EXPECT_NE(result.output.find("stats sequences=1"), std::string::npos);
+}
+
+TEST(ServeSession, ExtendUnknownSequenceIsNotFound) {
+  const SessionResult result = RunScript("extend 3 A\nquit\n");
+  EXPECT_EQ(result.errors, 1);
+  EXPECT_NE(result.output.find("error NotFound"), std::string::npos);
+  EXPECT_NE(result.output.find("bye\n"), std::string::npos);
+}
+
+TEST(ServeSession, DurabilityVerbsFailOnInMemoryService) {
+  // checkpoint / recover parse, reach the service, and come back as
+  // InvalidArgument — the session survives both.
+  const SessionResult result = RunScript(
+      "append A B\n"
+      "checkpoint\n"
+      "recover\n"
+      "stats\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 2);
+  EXPECT_NE(result.output.find("error InvalidArgument"), std::string::npos);
+  EXPECT_NE(result.output.find("stats sequences=1"), std::string::npos);
+}
+
+TEST(ServeSession, DurabilityVerbsOnDurableService) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gsgrow_session_durable")
+          .string();
+  std::filesystem::remove_all(dir);
+  DurabilityOptions options;
+  options.dir = dir;
+  Result<std::unique_ptr<MiningService>> service =
+      MiningService::OpenDurable(options);
+  ASSERT_TRUE(service.ok());
+  std::istringstream in(
+      "append A B A\n"
+      "recover\n"
+      "checkpoint\n"
+      "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(RunServeSession(**service, in, out), 0);
+  EXPECT_EQ(out.str(),
+            "ok seq=0 len=3\n"
+            "recovered epoch=0 sequences=0 checkpoint=0 checkpoint_epoch=0 "
+            "wal_records=0 torn_tail=0\n"
+            "ok checkpoint epoch=1\n"
+            "bye\n");
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
