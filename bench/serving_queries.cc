@@ -358,7 +358,10 @@ int main() {
       }
     } else {
       streamed.emplace_back(events);
-      streaming.AppendIds(events);
+      if (!streaming.AppendIds(events).ok()) {
+        std::printf("append failed\n");
+        return 1;
+      }
     }
   }
   const double append_seconds = append_timer.ElapsedSeconds();

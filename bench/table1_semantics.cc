@@ -160,12 +160,14 @@ int main() {
       options.semantics = config.semantics;
       MiningResult one_pass = Mine(config, index, options);
       bench::Cell one_pass_cell = bench::ToCell(one_pass, 1, spec);
+      one_pass_cell.index_bytes = index.MemoryUsage();
 
       // Arm 2: the pre-annotation route — plain mining, then the standalone
       // reference scanners over the whole database, per pattern.
       options.semantics = SemanticsOptions{};
       MiningResult plain = Mine(config, index, options);
       bench::Cell plain_cell = bench::ToCell(plain, 1, "");
+      plain_cell.index_bytes = index.MemoryUsage();
       WallTimer posthoc_timer;
       std::vector<SemanticsAnnotations> posthoc;
       posthoc.reserve(plain.patterns.size());

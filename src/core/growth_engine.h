@@ -80,6 +80,14 @@ class CooperativeStop {
   }
 
  private:
+  // Deliberately lock-free (no GSGROW_GUARDED_BY mutex): every worker polls
+  // stopped() inside its closure-check loops, so a lock here would serialize
+  // the whole run. The asserts make the lock-freedom a checked property
+  // rather than a hope (DESIGN.md §11).
+  static_assert(std::atomic<bool>::is_always_lock_free,
+                "CooperativeStop::stopped_ must be lock-free");
+  static_assert(std::atomic<const char*>::is_always_lock_free,
+                "CooperativeStop::reason_ must be lock-free");
   std::atomic<bool> stopped_{false};
   std::atomic<const char*> reason_{nullptr};
 };
@@ -110,8 +118,20 @@ struct SharedRunState {
   /// First-writer-wins truncation flag + reason.
   CooperativeStop stop;
 
-  /// Shared wall-clock deadline: one start time for all workers.
+  /// Shared wall-clock deadline: one start time for all workers. Immutable
+  /// after construction (Expired() only reads the clock), so it needs no
+  /// guard.
   TimeBudget budget;
+
+  // The dispenser cursor, emission counter, and top-K support floor are the
+  // only cross-thread MUTABLE state of a sharded run; all three are
+  // monotone atomics mutated with fetch_add / CAS-max, never read-modify-
+  // write under a lock. Keep it that way: a mutex in this struct would sit
+  // on the hot path of every worker. The asserts pin the lock-freedom.
+  static_assert(std::atomic<size_t>::is_always_lock_free,
+                "SharedRunState::next_root must be lock-free");
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "patterns_emitted / support_floor must be lock-free");
 };
 
 /// Per-worker polling handle over the shared run state, passed to policies

@@ -25,6 +25,8 @@ void AppendFramedPage(std::string* dst, uint8_t type,
 }  // namespace
 
 void CheckpointWriter::AddPage(uint8_t type, std::string_view payload) {
+  // invariant: `type` comes from our own writer code, never from disk —
+  // the read side rejects unknown page types with Status(kCorruption).
   GSGROW_CHECK_MSG(type < kCheckpointFooterType,
                    "page type collides with the footer");
   if (!started_) {

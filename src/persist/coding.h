@@ -38,35 +38,38 @@ inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
   dst->append(s.data(), s.size());
 }
 
-inline uint32_t DecodeFixed32(const char* p) {
+[[nodiscard]] inline uint32_t DecodeFixed32(const char* p) {
   return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
          (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
          (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
          (static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24);
 }
 
-inline uint64_t DecodeFixed64(const char* p) {
+[[nodiscard]] inline uint64_t DecodeFixed64(const char* p) {
   return static_cast<uint64_t>(DecodeFixed32(p)) |
          (static_cast<uint64_t>(DecodeFixed32(p + 4)) << 32);
 }
 
 /// Bounds-checked readers: advance *offset past the value on success,
 /// return false (leaving *offset untouched) when the buffer is too short.
-inline bool GetFixed32(std::string_view data, size_t* offset, uint32_t* out) {
+[[nodiscard]] inline bool GetFixed32(std::string_view data, size_t* offset,
+                                     uint32_t* out) {
   if (*offset > data.size() || data.size() - *offset < 4) return false;
   *out = DecodeFixed32(data.data() + *offset);
   *offset += 4;
   return true;
 }
 
-inline bool GetFixed64(std::string_view data, size_t* offset, uint64_t* out) {
+[[nodiscard]] inline bool GetFixed64(std::string_view data, size_t* offset,
+                                     uint64_t* out) {
   if (*offset > data.size() || data.size() - *offset < 8) return false;
   *out = DecodeFixed64(data.data() + *offset);
   *offset += 8;
   return true;
 }
 
-inline bool GetLengthPrefixed(std::string_view data, size_t* offset,
+[[nodiscard]] inline bool GetLengthPrefixed(std::string_view data,
+                                            size_t* offset,
                               std::string_view* out) {
   size_t pos = *offset;
   uint32_t len = 0;

@@ -17,20 +17,21 @@ namespace gsgrow::persist {
 
 /// CRC32C of `data[0, n)`, seeded with `init_crc` (pass 0 for a fresh
 /// checksum; pass a previous return value to extend it over more bytes).
-uint32_t Crc32cExtend(uint32_t init_crc, const void* data, size_t n);
+[[nodiscard]] uint32_t Crc32cExtend(uint32_t init_crc, const void* data,
+                                    size_t n);
 
 /// CRC32C of `data[0, n)`.
-inline uint32_t Crc32c(const void* data, size_t n) {
+[[nodiscard]] inline uint32_t Crc32c(const void* data, size_t n) {
   return Crc32cExtend(0, data, n);
 }
 
 /// Masks a CRC for storage alongside the data it covers.
-inline uint32_t MaskCrc(uint32_t crc) {
+[[nodiscard]] inline uint32_t MaskCrc(uint32_t crc) {
   return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
 }
 
 /// Inverse of MaskCrc.
-inline uint32_t UnmaskCrc(uint32_t masked) {
+[[nodiscard]] inline uint32_t UnmaskCrc(uint32_t masked) {
   const uint32_t rot = masked - 0xa282ead8u;
   return (rot >> 17) | (rot << 15);
 }

@@ -68,7 +68,7 @@ Result<std::string> ReadFileToString(const std::string& path);
 Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 /// True when `path` exists (any file type).
-bool PathExists(const std::string& path);
+[[nodiscard]] bool PathExists(const std::string& path);
 
 /// Result<> wrapper around the file size. NotFound when absent.
 Result<uint64_t> FileSize(const std::string& path);

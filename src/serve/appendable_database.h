@@ -27,6 +27,8 @@
 #include "core/event_dictionary.h"
 #include "core/sequence_database.h"
 #include "core/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gsgrow {
 
@@ -51,11 +53,23 @@ class AppendableDatabase {
   void Ingest(const SequenceDatabase& db);
 
   /// Writer-side dictionary (interning new event names).
-  EventDictionary& dictionary() { return dictionary_; }
-  const EventDictionary& dictionary() const { return dictionary_; }
+  EventDictionary& dictionary() {
+    writer_lock_.AssertHeld();
+    return dictionary_;
+  }
+  const EventDictionary& dictionary() const {
+    writer_lock_.AssertHeld();
+    return dictionary_;
+  }
 
-  size_t size() const { return sequences_.size(); }
-  size_t total_events() const { return total_events_; }
+  size_t size() const {
+    writer_lock_.AssertHeld();
+    return sequences_.size();
+  }
+  size_t total_events() const {
+    writer_lock_.AssertHeld();
+    return total_events_;
+  }
 
   /// Current length of sequence `seq`.
   Position SequenceLength(SeqId seq) const;
@@ -74,11 +88,17 @@ class AppendableDatabase {
   std::shared_ptr<const SequenceDatabase> SnapshotDatabase();
 
  private:
-  std::vector<std::vector<EventId>> sequences_;
-  EventDictionary dictionary_;
-  size_t total_events_ = 0;
+  // Single-writer, externally-synchronized contract (file comment), made
+  // machine-checkable exactly as in IncrementalInvertedIndex: methods that
+  // touch the fields below open with writer_lock_.AssertHeld().
+  ExternalSerialization writer_lock_;
+
+  std::vector<std::vector<EventId>> sequences_ GSGROW_GUARDED_BY(writer_lock_);
+  EventDictionary dictionary_ GSGROW_GUARDED_BY(writer_lock_);
+  size_t total_events_ GSGROW_GUARDED_BY(writer_lock_) = 0;
   // Cached immutable snapshot; invalidated (reset) by every mutation.
-  std::shared_ptr<const SequenceDatabase> cached_;
+  std::shared_ptr<const SequenceDatabase> cached_
+      GSGROW_GUARDED_BY(writer_lock_);
 };
 
 }  // namespace gsgrow

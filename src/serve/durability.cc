@@ -149,7 +149,9 @@ Result<LogRecord> DecodeLogRecord(const persist::WalRecord& record) {
       decoded.events.reserve(count);
       for (uint32_t i = 0; i < count; ++i) {
         uint32_t e = 0;
-        GetFixed32(payload, &offset, &e);
+        if (!GetFixed32(payload, &offset, &e)) {
+          return corrupt("malformed sequence payload");
+        }
         decoded.events.push_back(e);
       }
       return decoded;
@@ -293,7 +295,9 @@ Result<CheckpointState> ReadServeCheckpoint(const std::string& dir) {
         events.reserve(len);
         for (uint32_t k = 0; k < len; ++k) {
           uint32_t e = 0;
-          GetFixed32(payload, &offset, &e);
+          if (!GetFixed32(payload, &offset, &e)) {
+            return SchemaCorruption("malformed sequence page");
+          }
           events.push_back(e);
         }
         decoded_events += len;

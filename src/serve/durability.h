@@ -55,8 +55,9 @@ namespace gsgrow::serve {
 // ---------------------------------------------------------------------------
 // Directory layout.
 
-std::string CheckpointPath(const std::string& dir);
-std::string WalSegmentPath(const std::string& dir, uint64_t segment);
+[[nodiscard]] std::string CheckpointPath(const std::string& dir);
+[[nodiscard]] std::string WalSegmentPath(const std::string& dir,
+                                         uint64_t segment);
 
 /// Segment numbers of every wal-<seq>.log in `dir`, ascending. Files that
 /// do not match the segment naming scheme are ignored.

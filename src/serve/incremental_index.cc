@@ -9,6 +9,9 @@
 namespace gsgrow {
 
 SeqId IncrementalInvertedIndex::AddSequence(std::span<const EventId> events) {
+  writer_lock_.AssertHeld();
+  // invariant: MiningService bounds the id space with Status(kOutOfRange)
+  // before mutating; client input cannot reach this check.
   GSGROW_CHECK_MSG(seqs_.size() < static_cast<size_t>(kNoPosition),
                    "sequence id space exhausted");
   const SeqId seq = static_cast<SeqId>(seqs_.size());
@@ -20,12 +23,17 @@ SeqId IncrementalInvertedIndex::AddSequence(std::span<const EventId> events) {
 
 void IncrementalInvertedIndex::AppendToSequence(
     SeqId seq, std::span<const EventId> events) {
+  writer_lock_.AssertHeld();
+  // invariant: unknown ids / position overflow / reserved event ids are all
+  // rejected with a Status at the MiningService layer first.
   GSGROW_CHECK_MSG(seq < seqs_.size(), "append to unknown sequence");
+  // invariant: pre-validated by MiningService::CheckPositionSpace.
   GSGROW_CHECK_MSG(seqs_[seq].length + events.size() <=
                        static_cast<size_t>(kNoPosition),
                    "sequence position space exhausted");
   if (!events.empty()) changed_ = true;
   for (const EventId e : events) {
+    // invariant: pre-validated by MiningService::CheckEventIds.
     GSGROW_CHECK_MSG(e != kNoEvent, "reserved event id");
     const Position p = seqs_[seq].length;
     Record(seq, e, p);
@@ -35,6 +43,7 @@ void IncrementalInvertedIndex::AppendToSequence(
 }
 
 void IncrementalInvertedIndex::Record(SeqId seq, EventId e, Position p) {
+  writer_lock_.AssertHeld();
   // --- Sequence side: event slot search + position push_back. ---
   SeqAccum& sa = seqs_[seq];
   const auto slot_it = std::lower_bound(sa.events.begin(), sa.events.end(), e);
@@ -82,6 +91,9 @@ void IncrementalInvertedIndex::Record(SeqId seq, EventId e, Position p) {
 }
 
 void IncrementalInvertedIndex::RestoreEpoch(uint64_t epoch) {
+  writer_lock_.AssertHeld();
+  // invariant: only OpenDurable calls this, before any snapshot exists;
+  // epoch records from a hostile log are validated in ReplayRecord.
   GSGROW_CHECK_MSG(epoch_ == 0, "RestoreEpoch after a snapshot was taken");
   epoch_ = epoch;
   // The re-fed corpus is not "new data": a snapshot taken right after
@@ -92,11 +104,14 @@ void IncrementalInvertedIndex::RestoreEpoch(uint64_t epoch) {
 }
 
 Position IncrementalInvertedIndex::SequenceLength(SeqId seq) const {
+  writer_lock_.AssertHeld();
+  // invariant: callers resolve ids against this index under the same lock.
   GSGROW_CHECK_MSG(seq < seqs_.size(), "unknown sequence");
   return seqs_[seq].length;
 }
 
 InvertedIndex IncrementalInvertedIndex::Snapshot() {
+  writer_lock_.AssertHeld();
   // Epoch = data version: a snapshot with nothing new to observe reuses the
   // previous epoch (the view assembled below is identical either way).
   if (changed_ || epoch_ == 0) {

@@ -46,6 +46,8 @@
 
 #include "core/inverted_index.h"
 #include "core/types.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace gsgrow {
 
@@ -74,12 +76,18 @@ class IncrementalInvertedIndex {
   /// Data version: how many snapshots have observed NEW data. Snapshots
   /// taken with no intervening append return the previous epoch — two
   /// snapshots with equal epochs are views of the identical corpus.
-  uint64_t epoch() const { return epoch_; }
+  uint64_t epoch() const {
+    writer_lock_.AssertHeld();
+    return epoch_;
+  }
 
   /// True when the NEXT Snapshot() will advance the epoch (new data since
   /// the last one, or no snapshot taken yet). The durability layer logs the
   /// epoch advance as a WAL record before taking that snapshot.
-  bool pending_epoch_advance() const { return changed_ || epoch_ == 0; }
+  bool pending_epoch_advance() const {
+    writer_lock_.AssertHeld();
+    return changed_ || epoch_ == 0;
+  }
 
   /// Recovery hook: pins the epoch counter to the checkpointed value after
   /// the checkpointed corpus has been re-fed through AddSequence. Only
@@ -87,11 +95,18 @@ class IncrementalInvertedIndex {
   /// pre-crash epoch trajectory (serve/durability.h).
   void RestoreEpoch(uint64_t epoch);
 
-  size_t num_sequences() const { return seqs_.size(); }
+  size_t num_sequences() const {
+    writer_lock_.AssertHeld();
+    return seqs_.size();
+  }
   EventId alphabet_size() const {
+    writer_lock_.AssertHeld();
     return static_cast<EventId>(events_.size());
   }
-  uint64_t total_events() const { return total_events_; }
+  uint64_t total_events() const {
+    writer_lock_.AssertHeld();
+    return total_events_;
+  }
 
   /// Writer-side length of sequence `seq` (includes unfrozen appends).
   Position SequenceLength(SeqId seq) const;
@@ -99,8 +114,14 @@ class IncrementalInvertedIndex {
   /// Sequences / events whose accumulators changed since the last
   /// snapshot (what the next Snapshot() must freeze). Exposed for the cost
   /// model assertions in tests and the serve stats verb.
-  size_t dirty_sequences() const { return dirty_seqs_.size(); }
-  size_t dirty_events() const { return dirty_events_.size(); }
+  size_t dirty_sequences() const {
+    writer_lock_.AssertHeld();
+    return dirty_seqs_.size();
+  }
+  size_t dirty_events() const {
+    writer_lock_.AssertHeld();
+    return dirty_events_.size();
+  }
 
  private:
   struct SeqAccum {
@@ -126,23 +147,29 @@ class IncrementalInvertedIndex {
   // marking both accumulators dirty.
   void Record(SeqId seq, EventId e, Position p);
 
-  IndexBuildOptions options_;
-  std::vector<SeqAccum> seqs_;
-  std::vector<EventAccum> events_;
+  // Single-writer, externally-synchronized contract (file comment), made
+  // machine-checkable: every method that touches the fields below opens
+  // with writer_lock_.AssertHeld() — under -Werror=thread-safety a new
+  // method that forgets is a build error (DESIGN.md §11).
+  ExternalSerialization writer_lock_;
+
+  IndexBuildOptions options_;  // immutable after construction
+  std::vector<SeqAccum> seqs_ GSGROW_GUARDED_BY(writer_lock_);
+  std::vector<EventAccum> events_ GSGROW_GUARDED_BY(writer_lock_);
   // Clean→dirty transitions since the last snapshot; the freeze loop walks
   // exactly these instead of scanning the world.
-  std::vector<SeqId> dirty_seqs_;
-  std::vector<EventId> dirty_events_;
+  std::vector<SeqId> dirty_seqs_ GSGROW_GUARDED_BY(writer_lock_);
+  std::vector<EventId> dirty_events_ GSGROW_GUARDED_BY(writer_lock_);
   // Present-event list cache (ascending events with total > 0). Appends
   // only ever add occurrences, so the list changes only when a NEW event id
   // first appears; rebuilt lazily at snapshot time.
-  std::vector<EventId> present_cache_;
-  bool present_dirty_ = false;
-  uint64_t total_events_ = 0;
-  uint64_t epoch_ = 0;
+  std::vector<EventId> present_cache_ GSGROW_GUARDED_BY(writer_lock_);
+  bool present_dirty_ GSGROW_GUARDED_BY(writer_lock_) = false;
+  uint64_t total_events_ GSGROW_GUARDED_BY(writer_lock_) = 0;
+  uint64_t epoch_ GSGROW_GUARDED_BY(writer_lock_) = 0;
   // Any mutation since the last snapshot (covers empty-sequence adds,
   // which dirty no accumulator but do change num_sequences).
-  bool changed_ = false;
+  bool changed_ GSGROW_GUARDED_BY(writer_lock_) = false;
 };
 
 }  // namespace gsgrow

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -67,11 +68,15 @@ bool ResolveEventFilter(const MineRequest& request,
 }  // namespace
 
 MiningService::~MiningService() {
+  MutexLock lock(&mutex_);
   if (durable_ && wal_.is_open()) {
-    // Best-effort: a clean shutdown leaves the whole log durable regardless
-    // of the sync policy.
-    wal_.Sync();
-    wal_.Close();
+    GSGROW_IGNORE_STATUS(
+        wal_.Sync(),
+        "best-effort shutdown flush: every record the sync policy promised "
+        "durable already is; a failure here only loses kNone-mode tail "
+        "records, which the policy never guaranteed");
+    GSGROW_IGNORE_STATUS(wal_.Close(),
+                         "process is exiting; the fd is released either way");
   }
 }
 
@@ -154,7 +159,7 @@ Status MiningService::LogMutationLocked(
 // writes rather than letting memory and log diverge.
 
 Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, names.size()));
   if (db_.size() >= static_cast<size_t>(kNoPosition)) {
     return Status::OutOfRange("sequence id space exhausted");
@@ -167,10 +172,13 @@ Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
       LogMutationLocked(fresh, serve::LogRecordType::kAddSequence, seq, ids));
   for (const auto& [id, name] : fresh) {
     const EventId interned = db_.dictionary().Intern(*name);
+    // invariant: ResolveIdsLocked predicted dense first-use ids under this
+    // same lock; a mismatch is a bug in our own id assignment, not input.
     GSGROW_CHECK(interned == id);
   }
   const SeqId db_seq = db_.AddSequence(ids);
   const SeqId index_seq = index_.AddSequence(ids);
+  // invariant: store and index are fed identical inputs under one lock.
   GSGROW_CHECK(seq == db_seq && seq == index_seq);
   snapshot_cache_.reset();
   ++appends_;
@@ -180,7 +188,7 @@ Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
 
 Status MiningService::AppendTo(SeqId seq,
                                const std::vector<std::string>& names) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (seq >= db_.size()) {
     return Status::NotFound("unknown sequence id " + std::to_string(seq));
   }
@@ -193,6 +201,7 @@ Status MiningService::AppendTo(SeqId seq,
       LogMutationLocked(fresh, serve::LogRecordType::kAppendTo, seq, ids));
   for (const auto& [id, name] : fresh) {
     const EventId interned = db_.dictionary().Intern(*name);
+    // invariant: same dense-id prediction as Append (one lock, one path).
     GSGROW_CHECK(interned == id);
   }
   db_.AppendToSequence(seq, ids);
@@ -203,7 +212,7 @@ Status MiningService::AppendTo(SeqId seq,
 }
 
 Result<SeqId> MiningService::AppendIds(std::span<const EventId> events) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   GSGROW_RETURN_NOT_OK(CheckEventIds(events));
   GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, events.size()));
   if (db_.size() >= static_cast<size_t>(kNoPosition)) {
@@ -214,6 +223,7 @@ Result<SeqId> MiningService::AppendIds(std::span<const EventId> events) {
       LogMutationLocked({}, serve::LogRecordType::kAddSequence, seq, events));
   const SeqId db_seq = db_.AddSequence(events);
   const SeqId index_seq = index_.AddSequence(events);
+  // invariant: store and index are fed identical inputs under one lock.
   GSGROW_CHECK(seq == db_seq && seq == index_seq);
   snapshot_cache_.reset();
   ++appends_;
@@ -222,7 +232,7 @@ Result<SeqId> MiningService::AppendIds(std::span<const EventId> events) {
 }
 
 Status MiningService::AppendIdsTo(SeqId seq, std::span<const EventId> events) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (seq >= db_.size()) {
     return Status::NotFound("unknown sequence id " + std::to_string(seq));
   }
@@ -239,7 +249,7 @@ Status MiningService::AppendIdsTo(SeqId seq, std::span<const EventId> events) {
 }
 
 Status MiningService::Ingest(const SequenceDatabase& db) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (db_.size() != 0) {
     return Status::InvalidArgument(
         "Ingest requires an empty service (ids are preserved)");
@@ -270,7 +280,7 @@ Status MiningService::Ingest(const SequenceDatabase& db) {
 }
 
 std::shared_ptr<const ServiceSnapshot> MiningService::Snapshot() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return SnapshotLocked();
 }
 
@@ -411,7 +421,7 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
 }
 
 ServiceStats MiningService::Stats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   ServiceStats stats;
   stats.num_sequences = db_.size();
   stats.alphabet_size = index_.alphabet_size();
@@ -463,6 +473,8 @@ Status MiningService::ReplayRecord(const serve::LogRecord& record) {
       GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, record.events.size()));
       const SeqId db_seq = db_.AddSequence(record.events);
       const SeqId index_seq = index_.AddSequence(record.events);
+      // invariant: record.seq == db_.size() was checked above with a
+      // kCorruption return — hostile log bytes cannot reach this.
       GSGROW_CHECK(db_seq == record.seq && index_seq == record.seq);
       ++appends_;
       return Status::OK();
@@ -507,7 +519,12 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
   GSGROW_RETURN_NOT_OK(persist::CreateDirIfMissing(options.dir));
 
   WallTimer timer;
-  std::unique_ptr<MiningService> service(new MiningService(index_options));
+  auto service = std::make_unique<MiningService>(index_options);
+  // The service is single-owner until this function returns, but the
+  // recovery body writes guarded fields (db_, index_, wal_) — hold the lock
+  // so the thread-safety analysis can prove every access, here and in the
+  // Replay* helpers.
+  MutexLock lock(&service->mutex_);
   service->durable_ = true;
   service->dopts_ = options;
   RecoveryInfo& info = service->recovery_;
@@ -530,6 +547,8 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
       GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, events.size()));
       const SeqId db_seq = service->db_.AddSequence(events);
       const SeqId index_seq = service->index_.AddSequence(events);
+      // invariant: both stores were empty and are fed the same validated
+      // checkpoint vector; hostile bytes were rejected above.
       GSGROW_CHECK(db_seq == index_seq);
     }
     service->index_.RestoreEpoch(ckpt->epoch);
@@ -603,7 +622,7 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
 }
 
 Status MiningService::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   if (!durable_) {
     return Status::InvalidArgument("checkpoint on a non-durable service");
   }
@@ -623,7 +642,10 @@ Status MiningService::Checkpoint() {
                                                      next_segment));
   if (!fresh.ok()) return fresh.status();
   GSGROW_RETURN_NOT_OK(persist::SyncDir(dopts_.dir));
-  wal_.Close();
+  GSGROW_IGNORE_STATUS(
+      wal_.Close(),
+      "the retiring segment was fully synced above and the checkpoint about "
+      "to land supersedes it; a close failure cannot lose data");
   wal_ = std::move(*fresh);
   wal_segment_ = next_segment;
   unsynced_appends_ = 0;
@@ -638,10 +660,16 @@ Status MiningService::Checkpoint() {
   if (segments.ok()) {
     for (const uint64_t s : *segments) {
       if (s < next_segment) {
-        persist::RemoveFileIfExists(serve::WalSegmentPath(dopts_.dir, s));
+        GSGROW_IGNORE_STATUS(
+            persist::RemoveFileIfExists(serve::WalSegmentPath(dopts_.dir, s)),
+            "covered-prefix cleanup is best-effort: recovery ignores "
+            "segments below the checkpoint and the next open retries the "
+            "deletion");
       }
     }
-    persist::SyncDir(dopts_.dir);
+    GSGROW_IGNORE_STATUS(persist::SyncDir(dopts_.dir),
+                         "durability of the deletions is not required for "
+                         "correctness — stale segments are inert");
   }
   return Status::OK();
 }

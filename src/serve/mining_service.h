@@ -29,7 +29,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,7 +42,9 @@
 #include "serve/appendable_database.h"
 #include "serve/durability.h"
 #include "serve/incremental_index.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gsgrow {
 
@@ -165,30 +166,34 @@ class MiningService {
   /// Appends a new sequence of event names; returns its id. Bad input
   /// (position-space exhaustion) and WAL failures come back as a Status —
   /// client data never fires an invariant check.
-  Result<SeqId> Append(const std::vector<std::string>& names);
+  Result<SeqId> Append(const std::vector<std::string>& names)
+      GSGROW_EXCLUDES(mutex_);
 
   /// Appends events to the end of existing sequence `seq`. NotFound for an
   /// unknown id, OutOfRange when the sequence's position space would
   /// overflow — validated BEFORE anything is logged or mutated.
-  Status AppendTo(SeqId seq, const std::vector<std::string>& names);
+  Status AppendTo(SeqId seq, const std::vector<std::string>& names)
+      GSGROW_EXCLUDES(mutex_);
 
   /// Id-based variants for programmatic feeds (generators, replicated
   /// streams) whose alphabet is managed by the caller — the dictionary is
   /// bypassed, names synthesize as "e<id>". InvalidArgument on the reserved
   /// id kNoEvent.
-  Result<SeqId> AppendIds(std::span<const EventId> events);
-  Status AppendIdsTo(SeqId seq, std::span<const EventId> events);
+  Result<SeqId> AppendIds(std::span<const EventId> events)
+      GSGROW_EXCLUDES(mutex_);
+  Status AppendIdsTo(SeqId seq, std::span<const EventId> events)
+      GSGROW_EXCLUDES(mutex_);
 
   /// Bulk ingestion of a parsed database into an EMPTY service — the one
   /// load path shared by mine_cli and serve_cli (--input preloading).
-  Status Ingest(const SequenceDatabase& db);
+  Status Ingest(const SequenceDatabase& db) GSGROW_EXCLUDES(mutex_);
 
   /// Takes a consistent snapshot of the current corpus: O(delta) index
   /// freeze + view assembly after appends, and a cached-handle copy (O(1))
   /// when nothing changed since the last call — a query storm on a quiet
   /// corpus shares one assembled snapshot instead of re-copying the
   /// per-sequence/per-event pointer tables per query.
-  std::shared_ptr<const ServiceSnapshot> Snapshot();
+  std::shared_ptr<const ServiceSnapshot> Snapshot() GSGROW_EXCLUDES(mutex_);
 
   /// Executes one request against a fresh snapshot. The two-argument form
   /// hands that snapshot back (formatting layers need its dictionary, and
@@ -213,14 +218,14 @@ class MiningService {
       std::span<const MineRequest> requests, size_t num_threads = 1,
       std::shared_ptr<const ServiceSnapshot>* snapshot_out = nullptr);
 
-  ServiceStats Stats();
+  ServiceStats Stats() GSGROW_EXCLUDES(mutex_);
 
   /// Spills the current corpus as an epoch-aligned checkpoint, rotates to a
   /// fresh WAL segment, and deletes the covered log prefix. kInvalidArgument
   /// on a non-durable service. Crash-safe at every step: until the atomic
   /// checkpoint rename lands, recovery uses the previous checkpoint plus
   /// the full (still contiguous) segment run.
-  Status Checkpoint();
+  Status Checkpoint() GSGROW_EXCLUDES(mutex_);
 
   bool durable() const { return durable_; }
 
@@ -228,47 +233,59 @@ class MiningService {
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
  private:
-  // Durable mutation plumbing (all called with mutex_ held).
+  // Durable mutation plumbing (all called with mutex_ held — enforced by
+  // the thread-safety analysis under the `thread-safety` preset).
   Status LogWalRecordLocked(serve::LogRecordType type,
-                            const std::string& payload);
-  Status SyncWalLocked();
-  Status MaybeSyncWalLocked(bool force);
+                            const std::string& payload)
+      GSGROW_REQUIRES(mutex_);
+  Status SyncWalLocked() GSGROW_REQUIRES(mutex_);
+  Status MaybeSyncWalLocked(bool force) GSGROW_REQUIRES(mutex_);
   // Resolves names to ids without interning; new names get the ids they
   // WILL receive (first-use order) so intern records can be logged before
   // the dictionary mutates.
   void ResolveIdsLocked(
       const std::vector<std::string>& names, std::vector<EventId>* ids,
-      std::vector<std::pair<EventId, const std::string*>>* fresh) const;
+      std::vector<std::pair<EventId, const std::string*>>* fresh) const
+      GSGROW_REQUIRES(mutex_);
   // Logs intern records for `fresh` + one sequence record, per sync policy.
   Status LogMutationLocked(
       const std::vector<std::pair<EventId, const std::string*>>& fresh,
-      serve::LogRecordType type, SeqId seq, std::span<const EventId> events);
-  std::shared_ptr<const ServiceSnapshot> SnapshotLocked();
+      serve::LogRecordType type, SeqId seq, std::span<const EventId> events)
+      GSGROW_REQUIRES(mutex_);
+  std::shared_ptr<const ServiceSnapshot> SnapshotLocked()
+      GSGROW_REQUIRES(mutex_);
   // Applies one replayed WAL record; kCorruption when it contradicts the
-  // state built so far (single-threaded, called only from OpenDurable).
-  Status ReplayRecord(const serve::LogRecord& record);
-  Status ReplayFreshNames(const serve::LogRecord& record);
+  // state built so far (single-threaded, called only from OpenDurable,
+  // which holds the lock over the whole recovery body).
+  Status ReplayRecord(const serve::LogRecord& record) GSGROW_REQUIRES(mutex_);
+  Status ReplayFreshNames(const serve::LogRecord& record)
+      GSGROW_REQUIRES(mutex_);
 
-  std::mutex mutex_;  // serializes appends, snapshots, stats
-  AppendableDatabase db_;
-  IncrementalInvertedIndex index_;
+  Mutex mutex_;  // serializes appends, snapshots, stats
+  AppendableDatabase db_ GSGROW_GUARDED_BY(mutex_);
+  IncrementalInvertedIndex index_ GSGROW_GUARDED_BY(mutex_);
   // Last assembled snapshot; reset by every mutation, so a Snapshot() call
   // with no intervening append is one shared_ptr copy.
-  std::shared_ptr<const ServiceSnapshot> snapshot_cache_;
-  uint64_t appends_ = 0;
-  std::atomic<uint64_t> queries_{0};
+  std::shared_ptr<const ServiceSnapshot> snapshot_cache_
+      GSGROW_GUARDED_BY(mutex_);
+  uint64_t appends_ GSGROW_GUARDED_BY(mutex_) = 0;
+  std::atomic<uint64_t> queries_{0};  // lock-free; relaxed counter
 
-  // Durability state (untouched for in-memory services).
+  // Durability state. `durable_`, `dopts_`, and `recovery_` are written
+  // only inside OpenDurable (before the service is shared) and immutable
+  // afterwards, so their accessors read them lock-free; everything the
+  // running service mutates is guarded.
   bool durable_ = false;
   DurabilityOptions dopts_;
-  persist::WalWriter wal_;
-  uint64_t wal_segment_ = 0;
-  size_t unsynced_appends_ = 0;
+  persist::WalWriter wal_ GSGROW_GUARDED_BY(mutex_);
+  uint64_t wal_segment_ GSGROW_GUARDED_BY(mutex_) = 0;
+  size_t unsynced_appends_ GSGROW_GUARDED_BY(mutex_) = 0;
   // Sticky: once a WAL write or sync fails, every later mutation fails fast
   // with the original error instead of diverging memory from the log.
-  Status wal_status_;
+  Status wal_status_ GSGROW_GUARDED_BY(mutex_);
   RecoveryInfo recovery_;
-  std::string scratch_payload_;  // reused record-encoding buffer
+  // Reused record-encoding buffer.
+  std::string scratch_payload_ GSGROW_GUARDED_BY(mutex_);
 };
 
 }  // namespace gsgrow

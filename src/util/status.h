@@ -4,6 +4,14 @@
 // environmental reasons (missing file, malformed input) returns a Status or
 // Result<T> instead of throwing. Pure in-memory mining code uses invariants
 // checked with GSGROW_CHECK (see logging.h) and never returns Status.
+//
+// Both types are [[nodiscard]]: silently dropping a Status is a compile
+// warning everywhere and an error under -Werror — a swallowed error in the
+// durability path is exactly the bug class the fault-injection suite
+// exists to catch, so the contract makes it unwritable. A call site that
+// INTENDS to ignore a failure must say so, and why, with
+// GSGROW_IGNORE_STATUS(expr, "reason") — the invariant linter
+// (tools/check_invariants.py) rejects bare (void) drops.
 
 #ifndef GSGROW_UTIL_STATUS_H_
 #define GSGROW_UTIL_STATUS_H_
@@ -57,7 +65,7 @@ inline const char* StatusCodeName(StatusCode code) {
 }
 
 /// Outcome of an operation that can fail without a payload.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -107,13 +115,17 @@ class Status {
 
 /// Outcome of an operation that yields a T on success.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value: success.
-  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `return value;` from a Result-returning function is the idiom.
+  Result(T value) : value_(std::move(value)) {}
   /// Implicit from a non-OK status: failure. Constructing from an OK status
   /// is a programming error.
-  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // `return Status::IOError(...);` propagates without boilerplate.
+  Result(Status status) : value_(std::move(status)) {}
 
   bool ok() const { return std::holds_alternative<T>(value_); }
 
@@ -144,6 +156,19 @@ class Result {
   do {                                              \
     ::gsgrow::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Deliberately discards the Status (or Result) of `expr`. `reason` must be
+/// a non-empty string literal explaining why failure is acceptable AT THIS
+/// CALL SITE — e.g. best-effort cleanup that the next open retries. This is
+/// the ONLY sanctioned way to drop a Status; the invariant linter flags
+/// bare `(void)` casts (rule `status-drop`).
+#define GSGROW_IGNORE_STATUS(expr, reason)                                 \
+  do {                                                                     \
+    static_assert(sizeof(reason) > 1,                                      \
+                  "GSGROW_IGNORE_STATUS needs a non-empty reason");        \
+    auto _gsgrow_ignored_status = (expr);                                  \
+    (void)_gsgrow_ignored_status;                                          \
   } while (0)
 
 #endif  // GSGROW_UTIL_STATUS_H_

@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis annotations (DESIGN.md §11).
+//
+// These macros compile the repo's written locking invariants — "mutex_
+// serializes appends, snapshots, and stats", "the incremental index is
+// single-writer, externally synchronized" — into attributes that clang's
+// -Wthread-safety analysis enforces at compile time. Under the
+// `thread-safety` CMake preset (clang + -Werror=thread-safety) touching a
+// guarded field without its capability is a build error, not a TSan
+// coin-flip; on gcc and un-flagged clang builds every macro expands to
+// nothing and costs nothing.
+//
+// Vocabulary (the clang attribute each maps to is in parentheses):
+//
+//   GSGROW_CAPABILITY(name)     a type whose instances are lockable
+//   GSGROW_SCOPED_CAPABILITY    an RAII type that acquires on construction
+//   GSGROW_GUARDED_BY(mu)       field: reads/writes require holding mu
+//   GSGROW_PT_GUARDED_BY(mu)    pointer field: the POINTED-TO data needs mu
+//   GSGROW_REQUIRES(mu)         function: caller must already hold mu
+//   GSGROW_ACQUIRE(mu)          function: acquires mu, returns holding it
+//   GSGROW_RELEASE(mu)          function: releases mu
+//   GSGROW_TRY_ACQUIRE(ok, mu)  function: acquires mu iff it returns `ok`
+//   GSGROW_EXCLUDES(mu)         function: caller must NOT hold mu
+//   GSGROW_ASSERT_CAPABILITY(mu) function: asserts mu is held (no-op body)
+//   GSGROW_RETURN_CAPABILITY(mu) function: returns a reference to mu
+//   GSGROW_NO_THREAD_SAFETY_ANALYSIS  escape hatch; requires a written
+//                                     reason per the DESIGN.md §11 policy
+//
+// The annotated Mutex / MutexLock wrappers live in util/mutex.h.
+
+#ifndef GSGROW_UTIL_THREAD_ANNOTATIONS_H_
+#define GSGROW_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define GSGROW_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define GSGROW_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op on non-clang
+#endif
+
+#define GSGROW_CAPABILITY(x) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define GSGROW_SCOPED_CAPABILITY \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define GSGROW_GUARDED_BY(x) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define GSGROW_PT_GUARDED_BY(x) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define GSGROW_REQUIRES(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define GSGROW_REQUIRES_SHARED(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define GSGROW_ACQUIRE(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define GSGROW_RELEASE(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define GSGROW_TRY_ACQUIRE(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define GSGROW_EXCLUDES(...) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define GSGROW_ASSERT_CAPABILITY(x) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define GSGROW_RETURN_CAPABILITY(x) \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define GSGROW_NO_THREAD_SAFETY_ANALYSIS \
+  GSGROW_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // GSGROW_UTIL_THREAD_ANNOTATIONS_H_

@@ -221,7 +221,8 @@ TEST_F(FaultInjectionTest, WalSegmentRunRegions) {
          PutSegment(d, 3, "");  // 2 is missing
        }},
       {"checkpoint deleted out from under its rotated log",
-       [](const std::string& d, const std::string& c, const std::string& t) {
+       [](const std::string& d, const std::string& /*c*/,
+          const std::string& t) {
          PutSegment(d, 1, t);  // no checkpoint => replay must start at 0
        }},
       {"stale pre-checkpoint segment is ignored",

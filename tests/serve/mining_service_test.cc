@@ -23,9 +23,9 @@ using ::gsgrow::testing::AsSet;
 
 // The Fig. 1 corpus plus one more row, as append calls.
 void LoadExample(MiningService* service) {
-  service->Append({"A", "A", "B", "C", "D", "A", "B", "B"});
-  service->Append({"A", "B", "C", "D"});
-  service->Append({"B", "A", "B", "A"});
+  ASSERT_TRUE(service->Append({"A", "A", "B", "C", "D", "A", "B", "B"}).ok());
+  ASSERT_TRUE(service->Append({"A", "B", "C", "D"}).ok());
+  ASSERT_TRUE(service->Append({"B", "A", "B", "A"}).ok());
 }
 
 SequenceDatabase ExampleDatabase() {
@@ -158,7 +158,7 @@ TEST(MiningService, SnapshotIsolatesFromLaterAppends) {
   const auto snapshot = service.Snapshot();
 
   // Appends land after the snapshot; queries on it must not see them.
-  service.Append({"A", "B", "A", "B", "A", "B"});
+  ASSERT_TRUE(service.Append({"A", "B", "A", "B", "A", "B"}).ok());
   ASSERT_TRUE(service.AppendTo(0, {"A", "B"}).ok());
 
   MineRequest request;

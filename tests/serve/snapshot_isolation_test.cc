@@ -31,7 +31,7 @@ TEST(ServeSnapshotIsolation, AppendWhileMining) {
   MiningService service;
   // Seed corpus so early snapshots have something to mine.
   for (int i = 0; i < 8; ++i) {
-    service.AppendIds(std::vector<EventId>{0, 1, 2, 0, 1});
+    ASSERT_TRUE(service.AppendIds(std::vector<EventId>{0, 1, 2, 0, 1}).ok());
   }
 
   std::atomic<bool> stop{false};
@@ -61,7 +61,7 @@ TEST(ServeSnapshotIsolation, AppendWhileMining) {
             rng.UniformInt(service.Stats().num_sequences));
         ASSERT_TRUE(service.AppendIdsTo(target, events).ok());
       } else {
-        service.AppendIds(events);
+        ASSERT_TRUE(service.AppendIds(events).ok());
       }
       ++appended;
     }
@@ -118,7 +118,7 @@ TEST(ServeSnapshotIsolation, AppendWhileMining) {
 TEST(ServeSnapshotIsolation, ConcurrentBatchesShareSnapshotsSafely) {
   MiningService service;
   for (int i = 0; i < 6; ++i) {
-    service.AppendIds(std::vector<EventId>{0, 1, 0, 2, 1});
+    ASSERT_TRUE(service.AppendIds(std::vector<EventId>{0, 1, 0, 2, 1}).ok());
   }
   std::vector<MineRequest> requests(6);
   for (size_t i = 0; i < requests.size(); ++i) {
@@ -133,7 +133,7 @@ TEST(ServeSnapshotIsolation, ConcurrentBatchesShareSnapshotsSafely) {
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      service.AppendIds(std::vector<EventId>{2, 0, 1});
+      ASSERT_TRUE(service.AppendIds(std::vector<EventId>{2, 0, 1}).ok());
     }
   });
   std::vector<MineResponse> a, b;

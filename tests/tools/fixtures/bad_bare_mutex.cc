@@ -1,0 +1,13 @@
+// gsgrow-fixture: path=src/serve/widget.cc expect=bare-mutex,bare-mutex
+// Seeded violation: bare std::mutex invisible to thread-safety analysis.
+#include <mutex>
+
+struct Shared {
+  std::mutex mu;
+  int value = 0;
+};
+
+void Bump(Shared* s) {
+  std::lock_guard<decltype(s->mu)> lock(s->mu);
+  ++s->value;
+}

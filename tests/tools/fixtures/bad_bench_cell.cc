@@ -1,0 +1,8 @@
+// gsgrow-fixture: path=bench/widget.cc expect=bench-cell-index-bytes
+// Seeded violation: emits JSON rows without recording the memory side of
+// the time/space trade-off.
+#include "harness.h"
+
+void Emit(const bench::Cell& cell) {
+  bench::AppendBenchJson(bench::CellJson("widget", "ds", "cfg", cell));
+}

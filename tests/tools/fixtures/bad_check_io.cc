@@ -1,0 +1,8 @@
+// gsgrow-fixture: path=src/persist/widget.cc expect=check-on-io-path
+// Seeded violation: an unjustified CHECK on an I/O-reachable path — a
+// corrupt input byte would abort the process instead of returning Status.
+#include "util/logging.h"
+
+void Decode(unsigned char type) {
+  GSGROW_CHECK_MSG(type < 4, "unknown page type");
+}

@@ -1,0 +1,9 @@
+// gsgrow-fixture: path=src/postprocess/widget.cc expect=filters-recompute,filters-recompute
+// Seeded violation: a post-processing filter reaching back into the
+// semantics layer to recompute annotations (DESIGN.md §7).
+#include "semantics/reference_scanners.h"
+
+int CountLandmarks(const gsgrow::SequenceDatabase& db,
+                   const gsgrow::Pattern& p) {
+  return AnnotatePostHoc(db, p, {}).landmarks.size();
+}

@@ -1,0 +1,9 @@
+// gsgrow-fixture: path=src/core/widget.cc expect=nolint-reason,nolint-reason
+// Seeded violation: blanket NOLINTs with no check name or no reason.
+struct Widget {
+  Widget(int x) : x_(x) {}  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Widget(double x) : x_(static_cast<int>(x)) {}
+
+  int x_;
+};

@@ -1,0 +1,13 @@
+// gsgrow-fixture: path=src/core/widget.cc expect=raw-new,raw-new
+// Seeded violation: raw allocation outside the arena layer (DESIGN.md §9).
+struct Widget {
+  int x;
+};
+
+Widget* Make() {
+  return new Widget{1};
+}
+
+void Destroy(Widget* w) {
+  delete w;
+}

@@ -1,0 +1,8 @@
+// gsgrow-fixture: path=src/serve/widget.cc expect=status-drop
+// Seeded violation: silencing a [[nodiscard]] Status with a bare (void)
+// cast instead of GSGROW_IGNORE_STATUS(expr, "reason").
+#include "persist/wal.h"
+
+void Shutdown(gsgrow::persist::WalWriter* wal) {
+  (void)wal->Sync();
+}

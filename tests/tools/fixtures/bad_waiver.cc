@@ -1,0 +1,16 @@
+// gsgrow-fixture: path=src/core/widget.cc expect=bad-waiver,bad-waiver,raw-new,raw-new
+// Seeded violation: malformed waivers — a typo'd rule name and a missing
+// reason. Neither suppresses anything, and both are errors themselves.
+struct Widget {
+  int x;
+};
+
+Widget* Make() {
+  // gsgrow:allow(raw-neww): typo must not silently disable the rule
+  return new Widget{1};
+}
+
+Widget* MakeOther() {
+  // gsgrow:allow(raw-new)
+  return new Widget{2};
+}

@@ -1,0 +1,15 @@
+// gsgrow-fixture: path=src/serve/widget.cc expect=
+// Clean: the annotated wrapper is the sanctioned lock; prose mentioning
+// std::mutex must not fire.
+#include "util/mutex.h"
+
+struct Shared {
+  // Replaces the old std::mutex + std::lock_guard pair.
+  gsgrow::Mutex mu;
+  int value = 0;
+};
+
+void Bump(Shared* s) {
+  gsgrow::MutexLock lock(&s->mu);
+  ++s->value;
+}

@@ -1,0 +1,8 @@
+// gsgrow-fixture: path=bench/widget.cc expect=
+// Clean: the emitter populates index_bytes before writing rows.
+#include "harness.h"
+
+void Emit(bench::Cell cell, unsigned long long bytes) {
+  cell.index_bytes = bytes;
+  bench::AppendBenchJson(bench::CellJson("widget", "ds", "cfg", cell));
+}

@@ -1,0 +1,7 @@
+// gsgrow-fixture: path=src/postprocess/widget.cc expect=
+// Clean: the filter consumes the annotations the mining pass recorded.
+#include "core/mining_result.h"
+
+int CountLandmarks(const gsgrow::PatternRecord& r) {
+  return static_cast<int>(r.annotations.landmarks.size());
+}

@@ -1,0 +1,9 @@
+// gsgrow-fixture: path=src/core/widget.cc expect=
+// Clean: NOLINT names its check and carries a reason.
+struct Widget {
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design —
+  // Widget converts from its wire representation at API boundaries.
+  Widget(int x) : x_(x) {}
+
+  int x_;
+};

@@ -1,0 +1,17 @@
+// gsgrow-fixture: path=src/core/widget.cc expect=
+// Clean: the word "new" in comments and strings must not fire, and a
+// waived placement has a reason.
+#include <memory>
+#include <string>
+
+// A brand new widget type; delete this comment when stale.
+std::unique_ptr<int> Make() {
+  std::string s = "new delete new[]";
+  (void)s;
+  return std::make_unique<int>(1);
+}
+
+int* Raw() {
+  // gsgrow:allow(raw-new): fixture demonstrates a justified waiver
+  return new int(2);
+}

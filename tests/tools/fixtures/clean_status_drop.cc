@@ -1,0 +1,11 @@
+// gsgrow-fixture: path=src/serve/widget.cc expect=
+// Clean: the sanctioned drop macro records why failure is acceptable;
+// (void) on non-Status expressions must not fire.
+#include "persist/wal.h"
+#include "util/status.h"
+
+void Shutdown(gsgrow::persist::WalWriter* wal, int unused) {
+  (void)unused;
+  GSGROW_IGNORE_STATUS(wal->Sync(),
+                       "best-effort shutdown flush; next open replays");
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over every first-party TU in compile_commands.json.
+
+Thin driver for the `lint` CMake target: filters the compilation database
+down to gsgrow sources (src/, tests/, bench/, examples/ — third-party and
+generated code excluded), fans out clang-tidy across cores, and fails on
+any diagnostic (.clang-tidy sets WarningsAsErrors: '*', so the
+zero-warning baseline is the gate, not a ratchet).
+
+Requires clang-tidy; the CMake target is only created when it is found,
+so gcc-only environments simply lack `lint` rather than failing.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tests/", "bench/", "examples/")
+
+
+def tu_paths(build_dir, root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            entries = json.load(f)
+    except OSError:
+        print("missing %s — configure with CMake first" % db_path)
+        return None
+    out = []
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if rel.startswith(FIRST_PARTY) and not rel.startswith(
+                "tests/tools/fixtures/"):
+            out.append(path)
+    return sorted(set(out))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("--root", default=None)
+    args = parser.parse_args(argv)
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = tu_paths(args.build_dir, root)
+    if files is None:
+        return 2
+    if not files:
+        print("no first-party TUs in the compilation database")
+        return 2
+    jobs = max(1, (os.cpu_count() or 2) - 1)
+    print("clang-tidy: %d TUs, %d jobs" % (len(files), jobs))
+    cmd = [args.clang_tidy, "-p", args.build_dir, "--quiet"]
+    with multiprocessing.Pool(jobs) as pool:
+        results = pool.map(_run_one, [(cmd, f, root) for f in files])
+    failed = [rel for rel, code, output in results if code != 0]
+    for rel, code, output in results:
+        if code != 0 and output:
+            print("== %s ==\n%s" % (rel, output))
+    if failed:
+        print("clang-tidy: %d/%d TUs with diagnostics" %
+              (len(failed), len(files)))
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+def _run_one(job):
+    cmd, path, root = job
+    rel = os.path.relpath(path, root)
+    proc = subprocess.run(cmd + [path], capture_output=True, text=True)
+    return rel, proc.returncode, (proc.stdout + proc.stderr).strip()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
