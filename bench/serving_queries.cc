@@ -18,6 +18,18 @@
 // (index_bytes), so the compression ratio on the serving corpus is a
 // tracked number.
 //
+// A fourth segment measures the epoch-aware result cache (DESIGN.md §12):
+// the SAME query mix replayed round after round, interleaved with appends
+// that advance the epoch, against a warm (cache on) and a cold (cache off)
+// service. Warm responses must be byte-identical (FormatMineResponse) to
+// the cold ones at EVERY step — the identity gate exits non-zero on any
+// mismatch — and the row records warm/cold latency, the speedup
+// (acceptance asks for >= 3x on this repeated workload), and the hit rate.
+// The appended sequences use rare events outside the drill-down alphabet,
+// so the filtered queries exercise the clean-revalidation path (re-stamp
+// across the epoch advance, zero mining) while the unrestricted ones
+// exercise the dirty re-mine with its top-K warm start.
+//
 // Rows land in BENCH_serving_queries.json; the summary row records the
 // shared-vs-rebuild speedup (acceptance asks for >= 2x on this corpus)
 // plus the compressed and plain index byte counts.
@@ -34,6 +46,7 @@
 #include "datagen/quest_generator.h"
 #include "harness.h"
 #include "io/dataset_stats.h"
+#include "io/request_io.h"
 #include "io/text_format.h"
 #include "serve/mining_service.h"
 #include "util/table.h"
@@ -394,6 +407,108 @@ int main() {
       FormatSeconds(delta_snapshot_seconds).c_str(),
       FormatSeconds(reindex_seconds).c_str(),
       incremental_identical ? "identical" : "DIFFER (BUG)");
+
+  // --- Result-cache segment: repeated queries + append stream, warm vs
+  // cold. Both services hold the full corpus; each epoch step appends one
+  // sequence of rare events (outside the top-8 drill-down alphabet, so the
+  // filtered queries stay provably clean across the advance) and then
+  // replays the whole query mix several rounds. The cold service mines
+  // every round; the warm one answers repeats from the cache and
+  // revalidates the filtered entries across epochs. ---
+  std::vector<EventId> rare_events;
+  {
+    std::vector<std::pair<uint64_t, EventId>> by_count;
+    for (EventId e : probe.present_events()) {
+      by_count.emplace_back(probe.TotalCount(e), e);
+    }
+    std::sort(by_count.rbegin(), by_count.rend());
+    // Skip well past the drill-down ranks; take the tail of the frequency
+    // order as the append payload alphabet.
+    for (size_t i = by_count.size() >= 6 ? by_count.size() - 6 : 0;
+         i < by_count.size(); ++i) {
+      rare_events.push_back(by_count[i].second);
+    }
+  }
+  MiningService warm_service;  // default: 64 MB result cache
+  ResultCacheOptions no_cache;
+  no_cache.max_bytes = 0;
+  MiningService cold_service(IndexBuildOptions{}, no_cache);
+  if (!warm_service.Ingest(db).ok() || !cold_service.Ingest(db).ok()) {
+    std::printf("cache arm ingest failed\n");
+    return 1;
+  }
+  constexpr int kEpochSteps = 4;
+  constexpr int kRoundsPerEpoch = 4;
+  double warm_seconds = 0;
+  double cold_seconds = 0;
+  bool cache_identical = true;
+  for (int step = 0; step < kEpochSteps; ++step) {
+    if (step > 0 && !rare_events.empty()) {
+      if (!warm_service.AppendIds(rare_events).ok() ||
+          !cold_service.AppendIds(rare_events).ok()) {
+        std::printf("cache arm append failed\n");
+        return 1;
+      }
+    }
+    for (int round = 0; round < kRoundsPerEpoch; ++round) {
+      for (size_t i = 0; i < queries.size(); ++i) {
+        WallTimer warm_timer;
+        const MineResponse warm = warm_service.Execute(queries[i].request);
+        warm_seconds += warm_timer.ElapsedSeconds();
+        WallTimer cold_timer;
+        const MineResponse cold = cold_service.Execute(queries[i].request);
+        cold_seconds += cold_timer.ElapsedSeconds();
+        // The gate compares protocol bytes, not just pattern sets: epoch
+        // stamps and truncation flags must survive caching too.
+        const std::string warm_text = FormatMineResponse(
+            warm, db.dictionary(), static_cast<size_t>(-1));
+        const std::string cold_text = FormatMineResponse(
+            cold, db.dictionary(), static_cast<size_t>(-1));
+        if (warm_text != cold_text) {
+          std::printf(
+              "cache divergence at step %d round %d query %zu (%s):\n"
+              "warm: %s\ncold: %s\n",
+              step, round, i, queries[i].label.c_str(), warm_text.c_str(),
+              cold_text.c_str());
+          cache_identical = false;
+        }
+      }
+    }
+  }
+  identical = identical && cache_identical;
+  const ServiceStats warm_stats = warm_service.Stats();
+  const uint64_t cache_lookups =
+      warm_stats.cache_hits + warm_stats.cache_misses;
+  const double hit_rate =
+      cache_lookups > 0
+          ? static_cast<double>(warm_stats.cache_hits) / cache_lookups
+          : 0.0;
+  const double cache_speedup =
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0;
+  std::printf(
+      "result cache (%d epochs x %d rounds x %zu queries): warm %s vs cold "
+      "%s -> %.2fx; hits %llu misses %llu revalidated %llu (hit rate "
+      "%.0f%%); answers %s\n",
+      kEpochSteps, kRoundsPerEpoch, queries.size(),
+      FormatSeconds(warm_seconds).c_str(), FormatSeconds(cold_seconds).c_str(),
+      cache_speedup, static_cast<unsigned long long>(warm_stats.cache_hits),
+      static_cast<unsigned long long>(warm_stats.cache_misses),
+      static_cast<unsigned long long>(warm_stats.cache_revalidated),
+      hit_rate * 100.0, cache_identical ? "identical" : "DIFFER (BUG)");
+  json_rows.push_back(
+      "{\"bench\":\"serving_queries\",\"dataset\":\"" + dataset +
+      "\",\"config\":\"result_cache\",\"epoch_steps\":" +
+      std::to_string(kEpochSteps) +
+      ",\"rounds_per_epoch\":" + std::to_string(kRoundsPerEpoch) +
+      ",\"queries\":" + std::to_string(queries.size()) +
+      ",\"warm_seconds\":" + std::to_string(warm_seconds) +
+      ",\"cold_seconds\":" + std::to_string(cold_seconds) +
+      ",\"speedup\":" + std::to_string(cache_speedup) +
+      ",\"cache_hits\":" + std::to_string(warm_stats.cache_hits) +
+      ",\"cache_misses\":" + std::to_string(warm_stats.cache_misses) +
+      ",\"cache_revalidated\":" + std::to_string(warm_stats.cache_revalidated) +
+      ",\"hit_rate\":" + std::to_string(hit_rate) +
+      ",\"identical\":" + (cache_identical ? "true" : "false") + "}");
 
   // --- Durability arm: the same append stream through the WAL (DESIGN.md
   // §10), checkpoint write cost, and recovery timing. The in-memory stream

@@ -2,7 +2,7 @@
 //
 //   serve_cli [--input=db.txt] [--format=text|spmf]
 //             [--durable_dir=DIR] [--sync=none|batch|always]
-//             [--group_commit=N]
+//             [--group_commit=N] [--cache_mb=N] [--cache=on|off]
 //
 // Speaks the line-delimited protocol of io/request_io.h (append / extend /
 // mine / topk / batch / run / stats / checkpoint / recover / quit);
@@ -12,6 +12,11 @@
 // session (the CI serve-smoke step diffs exactly that against a golden
 // transcript), or wrap a socket around it later — the protocol is plain
 // lines in both directions.
+//
+// --cache_mb sizes the epoch-aware result cache (serve/result_cache.h;
+// default 64 MB); --cache=off (or --cache_mb=0) disables it, so a session
+// can be replayed with and without caching to compare transcripts — they
+// must match byte-for-byte apart from the stats counters.
 //
 // --durable_dir opens the service durably (DESIGN.md §10): mutations are
 // write-ahead logged to DIR, `checkpoint` spills an epoch-aligned snapshot,
@@ -49,8 +54,22 @@ int StartupFailure(const char* what, const std::string& detail,
 int main(int argc, char** argv) {
   Flags flags = Flags::Parse(argc, argv);
 
+  const std::string cache = flags.GetString("cache", "on");
+  if (cache != "on" && cache != "off") {
+    return StartupFailure("bad flag", "--cache=" + cache,
+                          Status::InvalidArgument("expected on|off"));
+  }
+  const int64_t cache_mb = flags.GetInt("cache_mb", 64);
+  if (cache_mb < 0) {
+    return StartupFailure("bad flag", "--cache_mb=" + std::to_string(cache_mb),
+                          Status::InvalidArgument("expected N >= 0"));
+  }
+  ResultCacheOptions cache_options;
+  cache_options.max_bytes =
+      cache == "off" ? 0 : static_cast<size_t>(cache_mb) << 20;
+
   std::unique_ptr<MiningService> durable_service;
-  MiningService memory_service;
+  MiningService memory_service{IndexBuildOptions{}, cache_options};
   MiningService* service = &memory_service;
 
   const std::string durable_dir = flags.GetString("durable_dir", "");
@@ -77,7 +96,7 @@ int main(int argc, char** argv) {
     }
     options.group_commit_appends = static_cast<size_t>(group);
     Result<std::unique_ptr<MiningService>> opened =
-        MiningService::OpenDurable(options);
+        MiningService::OpenDurable(options, IndexBuildOptions{}, cache_options);
     if (!opened.ok()) {
       return StartupFailure("cannot open durable store", durable_dir,
                             opened.status());

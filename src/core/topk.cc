@@ -32,6 +32,13 @@ MiningResult MineTopKClosed(const InvertedIndex& index,
     threshold = std::max(threshold, index.TotalCount(e));
   }
   if (threshold == 0) return {};
+  // Warm start (TopKOptions::support_floor_hint): drop straight to the
+  // hinted support. Never raise above the max single-event support — no
+  // pattern can exceed it, so a larger hint would only add empty steps.
+  if (options.support_floor_hint > 0 &&
+      options.support_floor_hint < threshold) {
+    threshold = options.support_floor_hint;
+  }
 
   // Threshold descent, with each step running the closed-mining engine into
   // a bounded TopKSink: the heap caps memory at K records, and once full its

@@ -50,6 +50,19 @@ struct TopKOptions {
   /// When non-empty: only patterns over this event subset compete (sorted
   /// ascending; MinerOptions::restrict_alphabet projection semantics).
   std::vector<EventId> restrict_alphabet;
+
+  /// Warm-start hint: when > 0, the threshold descent starts at
+  /// min(hint, max single-event support) instead of the max single-event
+  /// support. Answer-INVARIANT for any value — a too-low start only runs
+  /// one over-inclusive step, a too-high start just re-enters the halving
+  /// loop; the returned top-K set is the same either way (the descent exits
+  /// only once >= k closed patterns qualify, and the K best among patterns
+  /// above ANY qualifying threshold are the global K best). The serving
+  /// layer seeds this with the cached previous-epoch k-th support
+  /// (serve/result_cache.h): support is monotone non-decreasing under
+  /// append, so the hint usually lands the descent on its final threshold
+  /// immediately. 0 (default) = classic cold descent.
+  uint64_t support_floor_hint = 0;
 };
 
 /// The K closed patterns (length >= min_length) with the highest repetitive

@@ -1,14 +1,22 @@
 #include "io/request_io.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "core/semantics_sink.h"
 #include "io/pattern_io.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace gsgrow {
 
 namespace {
+
+template <typename T>
+void SortDedup(std::vector<T>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
 
 Status BadArg(std::string_view verb, const std::string& token,
               std::string_view expected) {
@@ -181,6 +189,120 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
       "recover, quit)");
 }
 
+void CanonicalizeMineRequest(MineRequest* request) {
+  MinerOptions& options = request->options;
+  // Answer-invariant execution knobs: output is byte-identical at any
+  // thread count (parallel parity suite) and any ablation setting (the
+  // toggles' own contract), and the warm-start hint converges to the same
+  // answer from any value (core/topk.h) — none of them are identity.
+  options.num_threads = 1;
+  options.use_candidate_list = true;
+  options.use_landmark_border_pruning = true;
+  options.use_insert_candidate_filter = true;
+  options.use_memoized_closure = true;
+  request->topk_support_floor_hint = 0;
+
+  // One restriction, one spelling: names sorted + deduplicated; a name
+  // filter replaces any programmatic id restriction (the execution path
+  // ignores restrict_alphabet when event_filter is non-empty).
+  SortDedup(&request->event_filter);
+  SortDedup(&options.restrict_alphabet);
+  if (!request->event_filter.empty()) options.restrict_alphabet.clear();
+
+  // Round-trip the semantics selection through its canonical spec string:
+  // parameters of disabled measures (a window width with fixed_window off,
+  // gap bounds with gap_occurrences off) reset to defaults, so selections
+  // that annotate identically compare equal.
+  if (options.semantics.AnyEnabled()) {
+    Result<SemanticsOptions> round_trip =
+        ParseSemanticsSpec(SemanticsSpecToString(options.semantics));
+    // invariant: SemanticsSpecToString emits exactly the vocabulary
+    // ParseSemanticsSpec accepts (its own doc contract); a failed
+    // round-trip is a codec bug, not input.
+    GSGROW_CHECK(round_trip.ok());
+    options.semantics = *round_trip;
+  } else {
+    options.semantics = SemanticsOptions{};
+  }
+
+  // Fields of inactive miners are dead weight: default them so `mine
+  // min_sup=2` and a programmatic request with a stale k compare equal.
+  const MineRequest defaults;
+  if (request->miner == MineRequest::Miner::kTopK) {
+    options.min_support = MinerOptions{}.min_support;
+  } else {
+    request->k = defaults.k;
+    request->min_length = defaults.min_length;
+  }
+  if (request->miner != MineRequest::Miner::kGapConstrained) {
+    request->gap = LandmarkGapConstraint{};
+  }
+}
+
+ResultCacheKey CanonicalRequestKey(const MineRequest& request) {
+  MineRequest canonical = request;
+  CanonicalizeMineRequest(&canonical);
+  const MinerOptions& options = canonical.options;
+
+  std::string key = "algo=";
+  switch (canonical.miner) {
+    case MineRequest::Miner::kAll: key += "all"; break;
+    case MineRequest::Miner::kClosed: key += "closed"; break;
+    case MineRequest::Miner::kTopK: key += "topk"; break;
+    case MineRequest::Miner::kGapConstrained: key += "gap"; break;
+  }
+  if (canonical.miner == MineRequest::Miner::kTopK) {
+    key += " k=" + std::to_string(canonical.k);
+    key += " min_len=" + std::to_string(canonical.min_length);
+  } else {
+    key += " min_sup=" + std::to_string(options.min_support);
+  }
+  // Default-valued fields are elided, so an explicitly-spelled default
+  // ("max_gap=4294967295") and an elided one share a key.
+  if (options.max_pattern_length != std::numeric_limits<size_t>::max()) {
+    key += " max_len=" + std::to_string(options.max_pattern_length);
+  }
+  if (options.max_patterns != std::numeric_limits<uint64_t>::max()) {
+    key += " max_patterns=" + std::to_string(options.max_patterns);
+  }
+  // Finite budgets make a request uncacheable (mining_service.cc), but the
+  // canonical form is also an equality oracle for tests — keep budget
+  // identity-bearing rather than silently conflating.
+  if (options.time_budget_seconds !=
+      std::numeric_limits<double>::infinity()) {
+    key += " budget=" + std::to_string(options.time_budget_seconds);
+  }
+  if (!options.collect_patterns) key += " collect=0";
+  if (canonical.miner == MineRequest::Miner::kGapConstrained) {
+    if (canonical.gap.min_gap != 0) {
+      key += " min_gap=" + std::to_string(canonical.gap.min_gap);
+    }
+    if (canonical.gap.max_gap != std::numeric_limits<uint32_t>::max()) {
+      key += " max_gap=" + std::to_string(canonical.gap.max_gap);
+    }
+  }
+  if (options.semantics.AnyEnabled()) {
+    key += " semantics=" + SemanticsSpecToString(options.semantics);
+  }
+  if (!canonical.event_filter.empty()) {
+    // Event names cannot contain whitespace (the protocol tokenizes on it)
+    // but CAN contain commas via programmatic Append — join on the unit
+    // separator, which no parseable name carries.
+    key += " events=";
+    for (size_t i = 0; i < canonical.event_filter.size(); ++i) {
+      if (i > 0) key.push_back('\x1f');
+      key += canonical.event_filter[i];
+    }
+  } else if (!options.restrict_alphabet.empty()) {
+    key += " ids=";
+    for (size_t i = 0; i < options.restrict_alphabet.size(); ++i) {
+      if (i > 0) key.push_back(',');
+      key += std::to_string(options.restrict_alphabet[i]);
+    }
+  }
+  return ResultCacheKey(std::move(key));
+}
+
 std::string FormatMineResponse(const MineResponse& response,
                                const EventDictionary& dictionary,
                                size_t limit) {
@@ -209,7 +331,11 @@ std::string FormatServiceStats(const ServiceStats& stats) {
          " events=" + std::to_string(stats.total_events) +
          " epoch=" + std::to_string(stats.epoch) +
          " appends=" + std::to_string(stats.appends) +
-         " queries=" + std::to_string(stats.queries);
+         " queries=" + std::to_string(stats.queries) +
+         " cache_hits=" + std::to_string(stats.cache_hits) +
+         " cache_misses=" + std::to_string(stats.cache_misses) +
+         " cache_revalidated=" + std::to_string(stats.cache_revalidated) +
+         " cache_evicted=" + std::to_string(stats.cache_evicted);
 }
 
 std::string FormatRecoveryInfo(const RecoveryInfo& info) {

@@ -26,6 +26,12 @@
 //
 // Requests parse into the typed serve structs (MineRequest), so the CLI,
 // tests, and benches drive the identical MiningService code path.
+//
+// This translation unit also owns request canonicalization
+// (CanonicalizeMineRequest / CanonicalRequestKey, declared in
+// serve/result_cache.h): the result cache's key form lives next to the
+// wire parser so the two evolve together — every token the parser accepts
+// has exactly one canonical rendering.
 
 #ifndef GSGROW_IO_REQUEST_IO_H_
 #define GSGROW_IO_REQUEST_IO_H_

@@ -110,14 +110,35 @@ Position IncrementalInvertedIndex::SequenceLength(SeqId seq) const {
   return seqs_[seq].length;
 }
 
-InvertedIndex IncrementalInvertedIndex::Snapshot() {
+InvertedIndex IncrementalInvertedIndex::Snapshot(EpochDelta* delta) {
   writer_lock_.AssertHeld();
   // Epoch = data version: a snapshot with nothing new to observe reuses the
   // previous epoch (the view assembled below is identical either way).
-  if (changed_ || epoch_ == 0) {
+  const bool advanced = changed_ || epoch_ == 0;
+  if (advanced) {
     ++epoch_;
     changed_ = false;
   }
+  // Capture the delta before the dirty lists are cleared below. The lists
+  // hold first-dirty order; the cache wants sorted sets for binary-search /
+  // merge-intersection, so sort the copies here (O(delta log delta), dwarfed
+  // by the freeze itself).
+  if (delta != nullptr) {
+    delta->epoch = epoch_;
+    delta->advanced = advanced;
+    delta->events.assign(dirty_events_.begin(), dirty_events_.end());
+    std::sort(delta->events.begin(), delta->events.end());
+    delta->appended_seqs.clear();
+    for (const SeqId seq : dirty_seqs_) {
+      if (static_cast<size_t>(seq) < last_snapshot_seq_count_) {
+        delta->appended_seqs.push_back(seq);
+      }
+    }
+    std::sort(delta->appended_seqs.begin(), delta->appended_seqs.end());
+    delta->new_sequences = seqs_.size() - std::min(last_snapshot_seq_count_,
+                                                   seqs_.size());
+  }
+  last_snapshot_seq_count_ = seqs_.size();
   // Freeze the delta: one CSR rebuild per dirty sequence, one postings copy
   // per dirty event. Clean accumulators keep their published block — shared
   // with every earlier snapshot that references it. Everything frozen by

@@ -51,6 +51,30 @@
 
 namespace gsgrow {
 
+/// What one epoch advance changed — the input to the result cache's
+/// clean/dirty revalidation (serve/result_cache.h). Captured by
+/// Snapshot(&delta) from the dirty lists BEFORE they are cleared, so the
+/// delta is exactly the data the freeze loop walked. Conservative by
+/// construction after recovery: a post-recover first snapshot reports the
+/// whole re-fed corpus as dirty, never less than what changed.
+struct EpochDelta {
+  /// The epoch the producing snapshot landed on.
+  uint64_t epoch = 0;
+  /// False when the snapshot observed nothing new (no epoch advance, no
+  /// delta to apply); consumers drop such deltas.
+  bool advanced = false;
+  /// Events whose postings changed this epoch, ascending.
+  std::vector<EventId> events;
+  /// PRE-EXISTING sequences (known to the previous snapshot) that received
+  /// appended events this epoch, ascending. Brand-new sequences are NOT
+  /// listed here — their events appear in `events`, which is what the
+  /// cache's alphabet-intersection test consumes.
+  std::vector<SeqId> appended_seqs;
+  /// Sequences born this epoch (includes empty ones, which dirty no
+  /// accumulator but do change num_sequences).
+  size_t new_sequences = 0;
+};
+
 class IncrementalInvertedIndex {
  public:
   IncrementalInvertedIndex() = default;
@@ -70,8 +94,10 @@ class IncrementalInvertedIndex {
   /// Immutable view of everything recorded so far. Clean sequences/events
   /// share their frozen blocks with prior snapshots; only the dirty delta
   /// is frozen anew. Calling twice with no appends in between returns an
-  /// equal view for O(pointer copies).
-  InvertedIndex Snapshot();
+  /// equal view for O(pointer copies). When `delta` is non-null it receives
+  /// what this snapshot froze (EpochDelta above) — the serving layer feeds
+  /// it to the result cache's revalidation pass.
+  InvertedIndex Snapshot(EpochDelta* delta = nullptr);
 
   /// Data version: how many snapshots have observed NEW data. Snapshots
   /// taken with no intervening append return the previous epoch — two
@@ -170,6 +196,9 @@ class IncrementalInvertedIndex {
   // Any mutation since the last snapshot (covers empty-sequence adds,
   // which dirty no accumulator but do change num_sequences).
   bool changed_ GSGROW_GUARDED_BY(writer_lock_) = false;
+  // Sequence count the previous Snapshot() observed — the boundary between
+  // "appended-to pre-existing" and "brand-new" sequences in an EpochDelta.
+  size_t last_snapshot_seq_count_ GSGROW_GUARDED_BY(writer_lock_) = 0;
 };
 
 }  // namespace gsgrow

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <utility>
@@ -42,13 +43,34 @@ Status CheckEventIds(std::span<const EventId> events) {
   return Status::OK();
 }
 
-// Resolves the request's name-level event filter against the snapshot
-// dictionary into a sorted, deduplicated id list. Returns false when the
-// filter is non-empty but no name resolved — the caller answers with an
-// empty result instead of mining unrestricted.
-bool ResolveEventFilter(const MineRequest& request,
-                        const SequenceDatabase& db,
-                        std::vector<EventId>* restrict_alphabet) {
+// A request is cacheable when its answer is a pure function of
+// (canonical request, corpus): a finite time budget can truncate
+// nondeterministically (wall clock), and a count-only run carries no
+// patterns worth caching. Note the default budget is infinity, so ordinary
+// serving traffic is cacheable.
+bool CacheableRequest(const MineRequest& request) {
+  return request.options.collect_patterns &&
+         request.options.time_budget_seconds ==
+             std::numeric_limits<double>::infinity();
+}
+
+// Only complete, successful answers enter the cache: a truncated result
+// (max_patterns) is a prefix whose identity with a future cold mine is not
+// guaranteed, and errors are cheap to recompute.
+bool CacheableResponse(const MineResponse& response) {
+  return response.status.ok() && !response.stats.truncated;
+}
+
+}  // namespace
+
+// Declared in serve/service_types.h: the one definition of the request →
+// restriction-alphabet resolution, shared by the execution path below and
+// the result cache's revalidation pass. Returns false when the filter is
+// non-empty but no name resolved — the caller answers with an empty result
+// instead of mining unrestricted.
+bool ResolveRequestAlphabet(const MineRequest& request,
+                            const SequenceDatabase& db,
+                            std::vector<EventId>* restrict_alphabet) {
   if (request.event_filter.empty()) {
     *restrict_alphabet = request.options.restrict_alphabet;
     return true;
@@ -64,8 +86,6 @@ bool ResolveEventFilter(const MineRequest& request,
       restrict_alphabet->end());
   return !restrict_alphabet->empty();
 }
-
-}  // namespace
 
 MiningService::~MiningService() {
   MutexLock lock(&mutex_);
@@ -302,9 +322,18 @@ std::shared_ptr<const ServiceSnapshot> MiningService::SnapshotLocked() {
                      status.ToString().c_str());
       }
     }
+    EpochDelta delta;
     snapshot_cache_ = std::make_shared<const ServiceSnapshot>(
-        ServiceSnapshot{index_.Snapshot(), db_.SnapshotDatabase(),
-                        index_.epoch()});
+        ServiceSnapshot{index_.Snapshot(cache_ != nullptr ? &delta : nullptr),
+                        db_.SnapshotDatabase(), index_.epoch()});
+    // Every epoch advance the running service takes goes through here, so
+    // the cache's delta history is the complete epoch trajectory (the
+    // direct index_.Snapshot() calls in ReplayRecord predate any cache
+    // entry and are excluded on purpose — OnEpochAdvance resets history on
+    // the resulting gap). Lock order: mutex_ → cache mutex.
+    if (cache_ != nullptr && delta.advanced) {
+      cache_->OnEpochAdvance(std::move(delta));
+    }
   }
   return snapshot_cache_;
 }
@@ -319,7 +348,29 @@ MineResponse MiningService::Execute(
     std::shared_ptr<const ServiceSnapshot>* snapshot_out) {
   queries_.fetch_add(1, std::memory_order_relaxed);
   *snapshot_out = Snapshot();
-  return ExecuteOn(**snapshot_out, request);
+  return ExecuteCached(**snapshot_out, request);
+}
+
+MineResponse MiningService::ExecuteCached(const ServiceSnapshot& snapshot,
+                                          const MineRequest& request) {
+  if (cache_ == nullptr || !CacheableRequest(request)) {
+    return ExecuteOn(snapshot, request);
+  }
+  MineRequest canonical = request;
+  CanonicalizeMineRequest(&canonical);
+  const ResultCacheKey key = CanonicalRequestKey(canonical);
+  CacheLookup lookup = cache_->Lookup(key, canonical, snapshot);
+  if (lookup.hit) return std::move(lookup.response);
+  // Miss: mine outside every lock. The original request executes (its
+  // thread count is an execution hint the canonical form strips), with the
+  // answer-invariant warm-start floor from a dirty entry when one existed.
+  MineRequest warmed = request;
+  warmed.topk_support_floor_hint = lookup.warm_support_floor;
+  MineResponse response = ExecuteOn(snapshot, warmed);
+  if (CacheableResponse(response)) {
+    cache_->Insert(key, canonical, response, snapshot);
+  }
+  return response;
 }
 
 MineResponse MiningService::ExecuteOn(const ServiceSnapshot& snapshot,
@@ -337,7 +388,8 @@ MineResponse MiningService::ExecuteOn(const ServiceSnapshot& snapshot,
   }
 
   MinerOptions options = request.options;
-  if (!ResolveEventFilter(request, *snapshot.db, &options.restrict_alphabet)) {
+  if (!ResolveRequestAlphabet(request, *snapshot.db,
+                              &options.restrict_alphabet)) {
     // A name filter that resolves to nothing matches no pattern; answer
     // empty rather than silently mining the whole alphabet.
     return response;
@@ -365,6 +417,7 @@ MineResponse MiningService::ExecuteOn(const ServiceSnapshot& snapshot,
       topk.num_threads = options.num_threads;
       topk.semantics = options.semantics;
       topk.restrict_alphabet = options.restrict_alphabet;
+      topk.support_floor_hint = request.topk_support_floor_hint;
       MiningResult result = MineTopKClosed(snapshot.index, topk);
       response.patterns = std::move(result.patterns);
       response.stats = std::move(result.stats);
@@ -393,7 +446,7 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
                                                    requests.size(), 1));
   if (workers <= 1) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      responses[i] = ExecuteOn(*snapshot, requests[i]);
+      responses[i] = ExecuteCached(*snapshot, requests[i]);
     }
     return responses;
   }
@@ -401,7 +454,10 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
   // next unexecuted request (PR-3 dispenser idiom). Each request is forced
   // single-threaded so the pool, not the per-request option, owns the
   // hardware — responses are a pure function of (snapshot, request), so the
-  // batch output is identical at any worker count.
+  // batch output is identical at any worker count. The cached path keeps
+  // that purity: a hit returns the identical bytes a cold mine would, and
+  // racing misses on one key insert-if-absent (thread count is stripped
+  // from the canonical key, so both thread policies share entries).
   std::atomic<size_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(workers);
@@ -412,7 +468,7 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         MineRequest request = requests[i];
         request.options.num_threads = 1;
-        responses[i] = ExecuteOn(*snapshot, request);
+        responses[i] = ExecuteCached(*snapshot, request);
       }
     });
   }
@@ -429,6 +485,13 @@ ServiceStats MiningService::Stats() {
   stats.epoch = index_.epoch();
   stats.appends = appends_;
   stats.queries = queries_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    const ResultCacheCounters counters = cache_->Counters();
+    stats.cache_hits = counters.hits;
+    stats.cache_misses = counters.misses;
+    stats.cache_revalidated = counters.revalidated;
+    stats.cache_evicted = counters.evicted;
+  }
   return stats;
 }
 
@@ -508,7 +571,8 @@ Status MiningService::ReplayRecord(const serve::LogRecord& record) {
 }
 
 Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
-    const DurabilityOptions& options, const IndexBuildOptions& index_options) {
+    const DurabilityOptions& options, const IndexBuildOptions& index_options,
+    const ResultCacheOptions& cache_options) {
   if (options.dir.empty()) {
     return Status::InvalidArgument("DurabilityOptions.dir must be set");
   }
@@ -519,7 +583,7 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
   GSGROW_RETURN_NOT_OK(persist::CreateDirIfMissing(options.dir));
 
   WallTimer timer;
-  auto service = std::make_unique<MiningService>(index_options);
+  auto service = std::make_unique<MiningService>(index_options, cache_options);
   // The service is single-owner until this function returns, but the
   // recovery body writes guarded fields (db_, index_, wal_) — hold the lock
   // so the thread-safety analysis can prove every access, here and in the
@@ -618,6 +682,13 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
   info.recovered_sequences = service->db_.size();
   info.recovered_epoch = service->index_.epoch();
   info.recover_seconds = timer.ElapsedSeconds();
+  // Invalidation-on-recover contract (DESIGN.md §12): the replayed corpus
+  // gets a cache with no entries and no delta history, so a result mined
+  // pre-crash — possibly against WAL-tail data a torn record dropped — can
+  // never satisfy a post-recover lookup. The cache above is freshly
+  // constructed and structurally empty; the explicit Clear() makes the
+  // contract hold even if a future refactor warms it during replay.
+  if (service->cache_ != nullptr) service->cache_->Clear();
   return service;
 }
 

@@ -42,71 +42,13 @@
 #include "serve/appendable_database.h"
 #include "serve/durability.h"
 #include "serve/incremental_index.h"
+#include "serve/result_cache.h"
+#include "serve/service_types.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
 
 namespace gsgrow {
-
-/// One typed mining query.
-struct MineRequest {
-  enum class Miner {
-    kAll,             // GSgrow: all frequent patterns
-    kClosed,          // CloGSgrow: closed frequent patterns
-    kTopK,            // top-K closed by support (no min_sup needed)
-    kGapConstrained,  // exact gap-constrained mining
-  };
-
-  Miner miner = Miner::kClosed;
-
-  /// min_support, budgets, threads, semantics selection, and (for
-  /// programmatic callers) a pre-resolved restrict_alphabet.
-  MinerOptions options;
-
-  /// Event-alphabet filter by NAME, resolved against the snapshot's
-  /// dictionary at execution time. When non-empty it replaces
-  /// options.restrict_alphabet; names unknown to the snapshot match
-  /// nothing (a filter with no known names yields an empty response).
-  std::vector<std::string> event_filter;
-
-  /// Top-K parameters (kTopK only).
-  size_t k = 10;
-  size_t min_length = 1;
-
-  /// Gap constraint (kGapConstrained only).
-  LandmarkGapConstraint gap;
-};
-
-/// Outcome of one executed request.
-struct MineResponse {
-  /// InvalidArgument for malformed requests (min_support = 0, k = 0);
-  /// patterns/stats are empty then.
-  Status status;
-  std::vector<PatternRecord> patterns;
-  MiningStats stats;
-  /// Epoch of the snapshot the query ran against.
-  uint64_t epoch = 0;
-};
-
-/// One consistent, immutable view of the corpus: the index snapshot, the
-/// materialized database (dictionary for name resolution and formatting;
-/// raw sequences for the gap-constrained flow oracle), and its epoch.
-/// Copyable and freely shareable across threads.
-struct ServiceSnapshot {
-  InvertedIndex index;
-  std::shared_ptr<const SequenceDatabase> db;
-  uint64_t epoch = 0;
-};
-
-/// Shape counters for the `stats` verb and monitoring.
-struct ServiceStats {
-  size_t num_sequences = 0;
-  size_t alphabet_size = 0;
-  uint64_t total_events = 0;
-  uint64_t epoch = 0;
-  uint64_t appends = 0;
-  uint64_t queries = 0;
-};
 
 /// How a durable service is opened (DESIGN.md §10).
 struct DurabilityOptions {
@@ -142,13 +84,20 @@ struct RecoveryInfo {
 
 class MiningService {
  public:
-  MiningService() = default;
+  MiningService() : MiningService(IndexBuildOptions{}) {}
 
   /// Service whose index freezes blocks with the given storage options —
   /// the plain-postings arm of bench/serving_queries uses this; production
-  /// callers take the (compressed) default.
-  explicit MiningService(const IndexBuildOptions& index_options)
-      : index_(index_options) {}
+  /// callers take the (compressed) default. The result cache
+  /// (serve/result_cache.h) is ON by default; cache_options.max_bytes == 0
+  /// disables it (every query mines cold) — the bench cold arms and the
+  /// cache-on/off differential use that.
+  explicit MiningService(const IndexBuildOptions& index_options,
+                         const ResultCacheOptions& cache_options = {})
+      : index_(index_options),
+        cache_(cache_options.max_bytes == 0
+                   ? nullptr
+                   : std::make_unique<ResultCache>(cache_options)) {}
 
   MiningService(const MiningService&) = delete;
   MiningService& operator=(const MiningService&) = delete;
@@ -158,10 +107,14 @@ class MiningService {
   /// the checkpoint if one exists, replays the WAL tail, truncates a torn
   /// final record, and resumes logging at the end of the last segment.
   /// Status(kCorruption) — never a crash — on mid-log checksum mismatches,
-  /// missing segments, or checkpoint damage.
+  /// missing segments, or checkpoint damage. The result cache starts EMPTY
+  /// after recovery regardless of pre-crash state (the cache is in-memory
+  /// only, and the recover path clears it explicitly as a contract —
+  /// DESIGN.md §12), so a stale pre-crash answer can never be served.
   static Result<std::unique_ptr<MiningService>> OpenDurable(
       const DurabilityOptions& options,
-      const IndexBuildOptions& index_options = {});
+      const IndexBuildOptions& index_options = {},
+      const ResultCacheOptions& cache_options = {});
 
   /// Appends a new sequence of event names; returns its id. Bad input
   /// (position-space exhaustion) and WAL failures come back as a Status —
@@ -195,16 +148,20 @@ class MiningService {
   /// per-sequence/per-event pointer tables per query.
   std::shared_ptr<const ServiceSnapshot> Snapshot() GSGROW_EXCLUDES(mutex_);
 
-  /// Executes one request against a fresh snapshot. The two-argument form
-  /// hands that snapshot back (formatting layers need its dictionary, and
-  /// taking another would advance the epoch).
+  /// Executes one request against a fresh snapshot, consulting the result
+  /// cache first (hit / clean re-stamp / dirty warm-started re-mine —
+  /// serve/result_cache.h). Responses are identical to a cache-off service:
+  /// pinned by the randomized differential in
+  /// tests/serve/result_cache_test.cc. The two-argument form hands the
+  /// snapshot back (formatting layers need its dictionary, and taking
+  /// another would advance the epoch).
   MineResponse Execute(const MineRequest& request);
   MineResponse Execute(const MineRequest& request,
                        std::shared_ptr<const ServiceSnapshot>* snapshot_out);
 
   /// Executes one request against a caller-held snapshot (shared across
-  /// queries). Pure: touches no service state, so any number may run
-  /// concurrently on one snapshot.
+  /// queries). Pure: touches no service state — and therefore no cache —
+  /// so any number may run concurrently on one snapshot.
   static MineResponse ExecuteOn(const ServiceSnapshot& snapshot,
                                 const MineRequest& request);
 
@@ -233,6 +190,14 @@ class MiningService {
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
  private:
+  // The cached-execution path shared by Execute and the ExecuteBatch
+  // workers: canonicalize → Lookup → on miss, mine outside every lock with
+  // the warm-start hint → Insert-if-absent. Uncacheable requests (finite
+  // time budget, collect_patterns off) bypass the cache entirely.
+  MineResponse ExecuteCached(const ServiceSnapshot& snapshot,
+                             const MineRequest& request)
+      GSGROW_EXCLUDES(mutex_);
+
   // Durable mutation plumbing (all called with mutex_ held — enforced by
   // the thread-safety analysis under the `thread-safety` preset).
   Status LogWalRecordLocked(serve::LogRecordType type,
@@ -270,6 +235,13 @@ class MiningService {
       GSGROW_GUARDED_BY(mutex_);
   uint64_t appends_ GSGROW_GUARDED_BY(mutex_) = 0;
   std::atomic<uint64_t> queries_{0};  // lock-free; relaxed counter
+
+  // Result cache (null = disabled). Internally synchronized by its own
+  // annotated Mutex; lock order is mutex_ → cache mutex (OnEpochAdvance
+  // runs under mutex_), and the cache never calls back into the service,
+  // so the reverse edge cannot form. The pointer itself is set only at
+  // construction and never reseated — lock-free to dereference.
+  const std::unique_ptr<ResultCache> cache_;
 
   // Durability state. `durable_`, `dopts_`, and `recovery_` are written
   // only inside OpenDurable (before the service is shared) and immutable

@@ -7,6 +7,7 @@
 
 #include "core/sequence_database.h"
 #include "io/request_io.h"
+#include "serve/result_cache.h"
 
 namespace gsgrow {
 namespace {
@@ -120,9 +121,140 @@ TEST(RequestIo, FormatsStats) {
   stats.epoch = 2;
   stats.appends = 5;
   stats.queries = 7;
+  stats.cache_hits = 4;
+  stats.cache_misses = 3;
+  stats.cache_revalidated = 2;
+  stats.cache_evicted = 1;
   EXPECT_EQ(FormatServiceStats(stats),
             "stats sequences=3 alphabet=9 events=41 epoch=2 appends=5 "
-            "queries=7");
+            "queries=7 cache_hits=4 cache_misses=3 cache_revalidated=2 "
+            "cache_evicted=1");
+}
+
+// ---------------------------------------------------------------------------
+// Request canonicalization (CanonicalizeMineRequest / CanonicalRequestKey):
+// every member of an equivalence class of requests — permuted filters,
+// explicit defaults, execution-knob differences — must collapse to ONE
+// cache key, and requests with different answers must not.
+
+std::string KeyOf(const MineRequest& request) {
+  return CanonicalRequestKey(request).text();
+}
+
+std::string KeyOf(const std::string& line) {
+  return KeyOf(MustParse(line).request);
+}
+
+TEST(RequestCanonicalization, EquivalenceClassCollapsesToOneKey) {
+  const std::string base = KeyOf("mine algo=closed min_sup=2 events=a,b");
+  // Permuted + duplicated filter names.
+  EXPECT_EQ(base, KeyOf("mine algo=closed min_sup=2 events=b,a,a,b"));
+  // Extra whitespace between protocol tokens.
+  EXPECT_EQ(base, KeyOf("mine   algo=closed    min_sup=2  events=a,b"));
+  // Thread count is answer-invariant (parallel parity), not identity.
+  EXPECT_EQ(base, KeyOf("mine algo=closed min_sup=2 events=a,b threads=8"));
+  // Key order on the wire.
+  EXPECT_EQ(base, KeyOf("mine events=a,b min_sup=2 algo=closed"));
+}
+
+TEST(RequestCanonicalization, ExplicitDefaultsEqualElidedOnes) {
+  const std::string base = KeyOf("mine algo=closed min_sup=2");
+  // A programmatic request carrying stale fields of INACTIVE miners and
+  // non-default execution knobs: same canonical identity.
+  MineRequest programmatic;
+  programmatic.miner = MineRequest::Miner::kClosed;
+  programmatic.options.min_support = 2;
+  programmatic.options.num_threads = 16;
+  programmatic.options.use_memoized_closure = false;
+  programmatic.k = 99;               // top-K only; closed ignores it
+  programmatic.min_length = 7;       // top-K only
+  programmatic.gap.min_gap = 1;      // gap miner only
+  programmatic.gap.max_gap = 3;
+  programmatic.topk_support_floor_hint = 42;  // internal, never identity
+  EXPECT_EQ(base, KeyOf(programmatic));
+
+  // Spelling out a default field is the same as eliding it.
+  MineRequest explicit_default = programmatic;
+  explicit_default.options.max_pattern_length =
+      std::numeric_limits<size_t>::max();
+  explicit_default.options.time_budget_seconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_EQ(base, KeyOf(explicit_default));
+}
+
+TEST(RequestCanonicalization, SemanticsSpecsNormalize) {
+  // Measure order in the spec string is presentation, not identity.
+  EXPECT_EQ(KeyOf("mine min_sup=2 semantics=seqcount,window:w=10"),
+            KeyOf("mine min_sup=2 semantics=window:w=10,seqcount"));
+  // Parameters of DISABLED measures are dead state: a stale window width
+  // with fixed_window off must not split the key space.
+  MineRequest plain;
+  plain.options.min_support = 2;
+  plain.options.semantics.sequence_count = true;
+  MineRequest stale = plain;
+  stale.options.semantics.window_width = 99;  // fixed_window is off
+  EXPECT_EQ(KeyOf(plain), KeyOf(stale));
+  // With NO measure enabled the whole block resets.
+  MineRequest none;
+  none.options.min_support = 2;
+  MineRequest stale_none = none;
+  stale_none.options.semantics.window_width = 99;
+  EXPECT_EQ(KeyOf(none), KeyOf(stale_none));
+}
+
+TEST(RequestCanonicalization, CanonicalizationIsIdempotent) {
+  MineRequest request =
+      MustParse("mine algo=gap min_gap=1 max_gap=4 min_sup=3 events=c,a,b")
+          .request;
+  MineRequest once = request;
+  CanonicalizeMineRequest(&once);
+  MineRequest twice = once;
+  CanonicalizeMineRequest(&twice);
+  EXPECT_EQ(KeyOf(once), KeyOf(twice));
+  EXPECT_EQ(KeyOf(request), KeyOf(once));
+  EXPECT_EQ(once.event_filter, twice.event_filter);
+  EXPECT_EQ(once.options.min_support, twice.options.min_support);
+}
+
+TEST(RequestCanonicalization, DistinctRequestsKeepDistinctKeys) {
+  const std::string closed2 = KeyOf("mine algo=closed min_sup=2");
+  EXPECT_NE(closed2, KeyOf("mine algo=all min_sup=2"));
+  EXPECT_NE(closed2, KeyOf("mine algo=closed min_sup=3"));
+  EXPECT_NE(closed2, KeyOf("mine algo=closed min_sup=2 events=a"));
+  EXPECT_NE(closed2, KeyOf("mine algo=closed min_sup=2 max_len=3"));
+  EXPECT_NE(closed2, KeyOf("mine algo=closed min_sup=2 semantics=seqcount"));
+  EXPECT_NE(closed2, KeyOf("topk k=10"));
+  EXPECT_NE(KeyOf("topk k=10"), KeyOf("topk k=11"));
+  EXPECT_NE(KeyOf("topk k=10 min_len=1"), KeyOf("topk k=10 min_len=2"));
+  EXPECT_NE(KeyOf("mine algo=gap min_sup=2 max_gap=1"),
+            KeyOf("mine algo=gap min_sup=2 max_gap=2"));
+  EXPECT_NE(KeyOf("mine algo=closed min_sup=2 events=a,b"),
+            KeyOf("mine algo=closed min_sup=2 events=a,c"));
+  // A finite budget stays identity-bearing (such requests are uncacheable,
+  // but the key must still not conflate them with unlimited runs).
+  EXPECT_NE(closed2, KeyOf("mine algo=closed min_sup=2 budget=1.5"));
+}
+
+TEST(RequestCanonicalization, NameFilterReplacesIdRestriction) {
+  // The execution path ignores restrict_alphabet when event_filter is
+  // non-empty; the key must agree with that precedence.
+  MineRequest filtered;
+  filtered.options.min_support = 2;
+  filtered.event_filter = {"a", "b"};
+  MineRequest filtered_with_ids = filtered;
+  filtered_with_ids.options.restrict_alphabet = {7, 9};
+  EXPECT_EQ(KeyOf(filtered), KeyOf(filtered_with_ids));
+
+  // Without a name filter, the id restriction IS identity (sorted,
+  // deduplicated).
+  MineRequest ids_only;
+  ids_only.options.min_support = 2;
+  ids_only.options.restrict_alphabet = {9, 7, 7};
+  MineRequest ids_sorted;
+  ids_sorted.options.min_support = 2;
+  ids_sorted.options.restrict_alphabet = {7, 9};
+  EXPECT_EQ(KeyOf(ids_only), KeyOf(ids_sorted));
+  EXPECT_NE(KeyOf(ids_only), KeyOf(filtered));
 }
 
 }  // namespace

@@ -233,6 +233,76 @@ TEST_F(DurableServiceTest, IngestIsLoggedAsOneCommit) {
   EXPECT_EQ(reopened->Snapshot()->db->dictionary().Lookup("y"), 1u);
 }
 
+// --- Result cache across checkpoint and recovery (DESIGN.md §12). ---
+
+TEST_F(DurableServiceTest, CheckpointKeepsCacheCoherent) {
+  std::unique_ptr<MiningService> service = Open();
+  ASSERT_NE(service, nullptr);
+  ASSERT_TRUE(service->Append({"a", "b", "a", "b"}).ok());
+  ASSERT_TRUE(service->Append({"b", "a", "b"}).ok());
+
+  MineRequest request;
+  request.options.min_support = 2;
+  const MineResponse before = service->Execute(request);
+  ASSERT_TRUE(before.status.ok());
+
+  // Checkpoint() snapshots internally; that epoch advance must flow through
+  // the cache's delta hook, so the cached answer stays servable (the delta
+  // is empty — nothing was appended since the entry was mined).
+  ASSERT_TRUE(service->Checkpoint().ok());
+  const MineResponse after = service->Execute(request);
+  EXPECT_EQ(after.patterns, before.patterns);
+  EXPECT_EQ(service->Stats().cache_hits, 1u);
+
+  // Post-checkpoint appends dirty the unrestricted entry as usual, and the
+  // re-mined answer matches a cache-free run on the same snapshot.
+  ASSERT_TRUE(service->Append({"a", "a"}).ok());
+  const MineResponse remined = service->Execute(request);
+  const MineResponse reference =
+      MiningService::ExecuteOn(*service->Snapshot(), request);
+  EXPECT_EQ(remined.patterns, reference.patterns);
+  EXPECT_EQ(service->Stats().cache_misses, 2u);
+}
+
+TEST_F(DurableServiceTest, RecoveryStartsWithAnInvalidatedCache) {
+  MineRequest request;
+  request.options.min_support = 2;
+  {
+    std::unique_ptr<MiningService> service =
+        Open(DurabilityOptions::SyncMode::kEveryAppend);
+    ASSERT_NE(service, nullptr);
+    ASSERT_TRUE(service->Append({"a", "b", "a", "b"}).ok());
+    ASSERT_TRUE(service->Execute(request).status.ok());
+    ASSERT_TRUE(service->Execute(request).status.ok());
+    EXPECT_EQ(service->Stats().cache_hits, 1u);
+    // This append is about to be torn off the log: the corpus the cache
+    // saw and the corpus recovery replays will disagree, while the epoch
+    // counter restarts from a comparable value — exactly the stale-hit
+    // shape OpenDurable's cache invalidation exists to prevent.
+    ASSERT_TRUE(service->Append({"a", "b"}).ok());
+  }
+  const std::string wal = serve::WalSegmentPath(dir_, 0);
+  Result<uint64_t> size = persist::FileSize(wal);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(persist::TruncateFile(wal, *size - 3).ok());
+
+  std::unique_ptr<MiningService> reopened = Open();
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_TRUE(reopened->recovery_info().torn_tail_dropped);
+  EXPECT_EQ(reopened->Stats().num_sequences, 1u);
+
+  // The first post-recovery query must be a cold miss answered from the
+  // replayed corpus, byte-for-byte what a cache-free execution computes.
+  const MineResponse recovered = reopened->Execute(request);
+  const MineResponse reference =
+      MiningService::ExecuteOn(*reopened->Snapshot(), request);
+  ASSERT_TRUE(recovered.status.ok());
+  EXPECT_EQ(recovered.patterns, reference.patterns);
+  const ServiceStats stats = reopened->Stats();
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
 // --- Append-path validation (the Status satellite): bad client input is an
 // error value, not a GSGROW_CHECK death. ---
 

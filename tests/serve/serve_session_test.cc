@@ -57,7 +57,8 @@ TEST(ServeSession, AppendMineStatsTranscript) {
             "5\tA\n"
             "3\tA A B\n"
             "stats sequences=2 alphabet=4 events=12 epoch=2 appends=3 "
-            "queries=2\n"
+            "queries=2 cache_hits=0 cache_misses=2 cache_revalidated=0 "
+            "cache_evicted=0\n"
             "bye\n");
 }
 

@@ -1,0 +1,14 @@
+// gsgrow-fixture: path=src/serve/handler.cc expect=cache-key-canonical
+// Seeded violation: serve-layer code constructing a ResultCacheKey
+// directly — the raw request text was never canonicalized, so equivalent
+// requests (permuted filters, elided defaults) would split across cache
+// entries instead of collapsing to one.
+#include "serve/result_cache.h"
+
+namespace gsgrow {
+
+ResultCacheKey KeyFor(const std::string& raw_request_line) {
+  return ResultCacheKey(raw_request_line);
+}
+
+}  // namespace gsgrow

@@ -1,0 +1,18 @@
+// gsgrow-fixture: path=src/serve/handler.cc expect=
+// Clean: keys flow from the one sanctioned factory. Mentioning the type
+// in declarations, parameters, and references is fine — only direct
+// construction is the violation.
+#include "serve/result_cache.h"
+
+namespace gsgrow {
+
+void Handle(const MineRequest& request, ResultCache& cache,
+            const ServiceSnapshot& snapshot) {
+  MineRequest canonical = request;
+  CanonicalizeMineRequest(&canonical);
+  const ResultCacheKey key = CanonicalRequestKey(canonical);
+  CacheLookup lookup = cache.Lookup(key, canonical, snapshot);
+  (void)lookup;
+}
+
+}  // namespace gsgrow

@@ -226,6 +226,25 @@ def rule_nolint_reason(relpath, raw_lines, code_lines):
     return out
 
 
+def rule_cache_key_canonical(relpath, raw_lines, code_lines):
+    """DESIGN.md §12: a ResultCacheKey has exactly one producer —
+    CanonicalRequestKey in io/request_io.cc. Serve-layer code constructing
+    a key any other way would cache under an un-canonicalized request,
+    splitting equivalent requests across entries or serving one request's
+    answer for a different one. The private constructor enforces this at
+    compile time; this rule is the textual backstop (it also catches
+    friend-function additions and patches that relax the class)."""
+    del raw_lines
+    out = []
+    pat = re.compile(r"\bResultCacheKey\s*[({]")
+    for ln, line in enumerate(code_lines, 1):
+        if pat.search(line):
+            out.append((ln, "direct ResultCacheKey construction; the only "
+                            "key factory is CanonicalRequestKey "
+                            "(io/request_io.cc)"))
+    return out
+
+
 RULES = [
     ("raw-new", rule_raw_new,
      lambda p: _path_under(p, "src/") and p != "src/util/arena.cc"),
@@ -242,6 +261,9 @@ RULES = [
      lambda p: _path_under(p, "src/", "tests/", "bench/", "examples/")),
     ("nolint-reason", rule_nolint_reason,
      lambda p: _path_under(p, "src/", "tests/", "bench/", "examples/")),
+    ("cache-key-canonical", rule_cache_key_canonical,
+     lambda p: _path_under(p, "src/serve/", "src/io/")
+     and p not in ("src/serve/result_cache.h", "src/io/request_io.cc")),
 ]
 
 RULE_IDS = {rid for rid, _, _ in RULES}
