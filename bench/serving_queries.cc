@@ -39,6 +39,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,8 @@
 #include "io/dataset_stats.h"
 #include "io/request_io.h"
 #include "io/text_format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/mining_service.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -138,6 +141,17 @@ bool SameAnswers(const MineResponse& a, const MineResponse& b) {
   return a.status.ok() && b.status.ok() && a.patterns == b.patterns;
 }
 
+// p50/p99 of a latency sample set via a local obs::Histogram — the same
+// log2-bucketed estimate the serving metrics expose, so bench rows and
+// `metrics` output agree on what a percentile means.
+std::pair<uint64_t, uint64_t> LatencyPercentiles(
+    const std::vector<uint64_t>& samples_us) {
+  obs::Histogram histogram;
+  for (const uint64_t us : samples_us) histogram.Record(us);
+  return {histogram.PercentileUpperBound(0.5),
+          histogram.PercentileUpperBound(0.99)};
+}
+
 }  // namespace
 
 int main() {
@@ -182,6 +196,7 @@ int main() {
   // harness measures: the CLI now routes through MiningService instead). ---
   std::vector<MineResponse> rebuild_responses(queries.size());
   std::vector<double> rebuild_seconds(queries.size(), 0.0);
+  std::vector<std::vector<uint64_t>> rebuild_us(queries.size());
   double rebuild_total = 0;
   uint64_t rebuild_index_bytes = 0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
@@ -200,7 +215,9 @@ int main() {
       }
       MineResponse response =
           MiningService::ExecuteOn(snapshot, queries[i].request);
-      const double s = timer.ElapsedSeconds();
+      const uint64_t us = timer.ElapsedMicros();
+      const double s = static_cast<double>(us) * 1e-6;
+      rebuild_us[i].push_back(us);
       rebuild_seconds[i] += s;
       rebuild_total += s;
       if (rep == 0) {
@@ -225,6 +242,7 @@ int main() {
   const double snapshot_seconds = shared_timer.ElapsedSeconds();
   std::vector<MineResponse> shared_responses(queries.size());
   std::vector<double> shared_seconds(queries.size(), 0.0);
+  std::vector<std::vector<uint64_t>> shared_us(queries.size());
   double shared_total = snapshot_seconds;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -234,7 +252,9 @@ int main() {
       const std::shared_ptr<const ServiceSnapshot> view = service.Snapshot();
       MineResponse response =
           MiningService::ExecuteOn(*view, queries[i].request);
-      const double s = timer.ElapsedSeconds();
+      const uint64_t us = timer.ElapsedMicros();
+      const double s = static_cast<double>(us) * 1e-6;
+      shared_us[i].push_back(us);
       shared_seconds[i] += s;
       shared_total += s;
       if (rep == 0) {
@@ -261,6 +281,7 @@ int main() {
       plain_service.Snapshot()->index.MemoryUsage();
   std::vector<MineResponse> plain_responses(queries.size());
   std::vector<double> plain_seconds(queries.size(), 0.0);
+  std::vector<std::vector<uint64_t>> plain_us(queries.size());
   double plain_total = 0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -269,7 +290,9 @@ int main() {
           plain_service.Snapshot();
       MineResponse response =
           MiningService::ExecuteOn(*view, queries[i].request);
-      const double s = timer.ElapsedSeconds();
+      const uint64_t us = timer.ElapsedMicros();
+      const double s = static_cast<double>(us) * 1e-6;
+      plain_us[i].push_back(us);
       plain_seconds[i] += s;
       plain_total += s;
       if (rep == 0) {
@@ -299,18 +322,19 @@ int main() {
                   FormatSeconds(shared_seconds[i]),
                   FormatSeconds(plain_seconds[i]),
                   FormatDouble(speedup, 2) + "x", same ? "yes" : "NO (BUG)"});
-    for (const auto& [arm, resp, secs, bytes] :
+    for (const auto& [arm, resp, secs, bytes, samples] :
          {std::tuple{"rebuild", &rebuild_responses[i], rebuild_seconds[i],
-                     rebuild_index_bytes},
+                     rebuild_index_bytes, &rebuild_us[i]},
           std::tuple{"shared", &shared_responses[i], shared_seconds[i],
-                     shared_index_bytes},
+                     shared_index_bytes, &shared_us[i]},
           std::tuple{"plain", &plain_responses[i], plain_seconds[i],
-                     plain_index_bytes}}) {
+                     plain_index_bytes, &plain_us[i]}}) {
       bench::Cell cell;
       cell.stats = resp->stats;
       cell.stats.elapsed_seconds = secs;
       cell.stats.patterns_found = resp->patterns.size();
       cell.index_bytes = bytes;
+      std::tie(cell.p50_us, cell.p99_us) = LatencyPercentiles(*samples);
       std::string json = bench::CellJson(
           "serving_queries", dataset,
           queries[i].label + " arm=" + arm, cell);
@@ -441,6 +465,13 @@ int main() {
   constexpr int kRoundsPerEpoch = 4;
   double warm_seconds = 0;
   double cold_seconds = 0;
+  // Per-query latency samples, the warm ones split by cache outcome (the
+  // request trace says whether the answer came from the cache) — the JSON
+  // row below reports p50/p99 for each population, not just totals.
+  std::vector<uint64_t> warm_samples_us;
+  std::vector<uint64_t> warm_hit_us;
+  std::vector<uint64_t> warm_miss_us;
+  std::vector<uint64_t> cold_samples_us;
   bool cache_identical = true;
   for (int step = 0; step < kEpochSteps; ++step) {
     if (step > 0 && !rare_events.empty()) {
@@ -453,11 +484,19 @@ int main() {
     for (int round = 0; round < kRoundsPerEpoch; ++round) {
       for (size_t i = 0; i < queries.size(); ++i) {
         WallTimer warm_timer;
-        const MineResponse warm = warm_service.Execute(queries[i].request);
-        warm_seconds += warm_timer.ElapsedSeconds();
+        obs::RequestTrace warm_trace;
+        std::shared_ptr<const ServiceSnapshot> warm_view;
+        const MineResponse warm =
+            warm_service.Execute(queries[i].request, &warm_view, &warm_trace);
+        const uint64_t warm_us = warm_timer.ElapsedMicros();
+        warm_seconds += static_cast<double>(warm_us) * 1e-6;
+        warm_samples_us.push_back(warm_us);
+        (warm_trace.cache_hit ? warm_hit_us : warm_miss_us).push_back(warm_us);
         WallTimer cold_timer;
         const MineResponse cold = cold_service.Execute(queries[i].request);
-        cold_seconds += cold_timer.ElapsedSeconds();
+        const uint64_t cold_us = cold_timer.ElapsedMicros();
+        cold_seconds += static_cast<double>(cold_us) * 1e-6;
+        cold_samples_us.push_back(cold_us);
         // The gate compares protocol bytes, not just pattern sets: epoch
         // stamps and truncation flags must survive caching too.
         const std::string warm_text = FormatMineResponse(
@@ -495,6 +534,19 @@ int main() {
       static_cast<unsigned long long>(warm_stats.cache_misses),
       static_cast<unsigned long long>(warm_stats.cache_revalidated),
       hit_rate * 100.0, cache_identical ? "identical" : "DIFFER (BUG)");
+  const auto [warm_p50, warm_p99] = LatencyPercentiles(warm_samples_us);
+  const auto [cold_p50, cold_p99] = LatencyPercentiles(cold_samples_us);
+  const auto [hit_p50, hit_p99] = LatencyPercentiles(warm_hit_us);
+  const auto [miss_p50, miss_p99] = LatencyPercentiles(warm_miss_us);
+  std::printf(
+      "cache latency: warm p50<=%llu us p99<=%llu us (hits p50<=%llu us, "
+      "misses p50<=%llu us) vs cold p50<=%llu us p99<=%llu us\n",
+      static_cast<unsigned long long>(warm_p50),
+      static_cast<unsigned long long>(warm_p99),
+      static_cast<unsigned long long>(hit_p50),
+      static_cast<unsigned long long>(miss_p50),
+      static_cast<unsigned long long>(cold_p50),
+      static_cast<unsigned long long>(cold_p99));
   json_rows.push_back(
       "{\"bench\":\"serving_queries\",\"dataset\":\"" + dataset +
       "\",\"config\":\"result_cache\",\"epoch_steps\":" +
@@ -503,6 +555,14 @@ int main() {
       ",\"queries\":" + std::to_string(queries.size()) +
       ",\"warm_seconds\":" + std::to_string(warm_seconds) +
       ",\"cold_seconds\":" + std::to_string(cold_seconds) +
+      ",\"warm_p50_us\":" + std::to_string(warm_p50) +
+      ",\"warm_p99_us\":" + std::to_string(warm_p99) +
+      ",\"warm_hit_p50_us\":" + std::to_string(hit_p50) +
+      ",\"warm_hit_p99_us\":" + std::to_string(hit_p99) +
+      ",\"warm_miss_p50_us\":" + std::to_string(miss_p50) +
+      ",\"warm_miss_p99_us\":" + std::to_string(miss_p99) +
+      ",\"cold_p50_us\":" + std::to_string(cold_p50) +
+      ",\"cold_p99_us\":" + std::to_string(cold_p99) +
       ",\"speedup\":" + std::to_string(cache_speedup) +
       ",\"cache_hits\":" + std::to_string(warm_stats.cache_hits) +
       ",\"cache_misses\":" + std::to_string(warm_stats.cache_misses) +

@@ -4,7 +4,7 @@
 //            [--min_sup=10] [--max_len=0] [--budget=0] [--threads=1]
 //            [--top=20] [--output=patterns.tsv] [--density=0] [--maximal]
 //            [--semantics=window:w=10,iterative,...]
-//            [--semantics_floor=measure:N]
+//            [--semantics_floor=measure:N] [--trace]
 //
 // Reads a sequence database (text: one sequence of whitespace-separated
 // event names per line; spmf: "item -1 ... -2" lines), mines repetitive
@@ -17,6 +17,10 @@
 // the output file. --semantics_floor=measure:N then keeps only patterns
 // whose annotated value of `measure` is >= N (annotation-routed filtering;
 // postprocess/filters.h).
+//
+// --trace prints the request's stage breakdown (obs/trace.h) after the
+// mining summary: snapshot/mine/annotate microseconds plus the DFS shape
+// counters, the same line shape the serve protocol's `trace last` prints.
 
 #include <cstdio>
 #include <string>
@@ -27,9 +31,11 @@
 #include "io/pattern_io.h"
 #include "io/spmf_format.h"
 #include "io/text_format.h"
+#include "obs/trace.h"
 #include "postprocess/filters.h"
 #include "serve/mining_service.h"
 #include "util/flags.h"
+#include "util/timer.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -45,7 +51,7 @@ int main(int argc, char** argv) {
                  "[--budget=SECONDS] [--threads=N] [--top=N] "
                  "[--output=patterns.tsv] [--density=D] [--maximal] "
                  "[--semantics=window:w=10,iterative,...] "
-                 "[--semantics_floor=measure:N]\n");
+                 "[--semantics_floor=measure:N] [--trace]\n");
     return 2;
   }
 
@@ -107,7 +113,18 @@ int main(int argc, char** argv) {
   const std::string algorithm = flags.GetString("algorithm", "closed");
   request.miner = algorithm == "all" ? MineRequest::Miner::kAll
                                      : MineRequest::Miner::kClosed;
-  MineResponse response = service.Execute(request);
+  const bool trace_enabled = flags.GetBool("trace", false);
+  obs::RequestTrace trace;
+  MineResponse response;
+  if (trace_enabled) {
+    const WallTimer request_timer;
+    std::shared_ptr<const ServiceSnapshot> snapshot;
+    response = service.Execute(request, &snapshot, &trace);
+    trace.total_us = request_timer.ElapsedMicros();
+    service.RecordRequestTrace(trace);
+  } else {
+    response = service.Execute(request);
+  }
   if (!response.status.ok()) {
     std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
     return ExitCodeForStatus(response.status.code());
@@ -120,6 +137,9 @@ int main(int argc, char** argv) {
                   ? (" [truncated: " + response.stats.truncated_reason + "]")
                         .c_str()
                   : "");
+  if (trace_enabled) {
+    std::printf("%s\n", obs::FormatRequestTrace(trace).c_str());
+  }
 
   // --- Post-process. ---
   std::vector<PatternRecord> patterns = std::move(response.patterns);

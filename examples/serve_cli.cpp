@@ -3,6 +3,7 @@
 //   serve_cli [--input=db.txt] [--format=text|spmf]
 //             [--durable_dir=DIR] [--sync=none|batch|always]
 //             [--group_commit=N] [--cache_mb=N] [--cache=on|off]
+//             [--slow_query_ms=N]
 //
 // Speaks the line-delimited protocol of io/request_io.h (append / extend /
 // mine / topk / batch / run / stats / checkpoint / recover / quit);
@@ -17,6 +18,12 @@
 // default 64 MB); --cache=off (or --cache_mb=0) disables it, so a session
 // can be replayed with and without caching to compare transcripts — they
 // must match byte-for-byte apart from the stats counters.
+//
+// --slow_query_ms=N enables the slow-query log (DESIGN.md §13): any request
+// whose total latency reaches N milliseconds prints one trace line — stage
+// breakdown plus DFS counters — to stderr, never the protocol stream, so
+// golden transcripts stay byte-identical. N=0 logs every request, which is
+// how the CI metrics-smoke step exercises the path deterministically.
 //
 // --durable_dir opens the service durably (DESIGN.md §10): mutations are
 // write-ahead logged to DIR, `checkpoint` spills an epoch-aligned snapshot,
@@ -131,6 +138,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "serve_cli: preloaded %zu sequences (%llu events)\n",
                  stats.num_sequences,
                  static_cast<unsigned long long>(stats.total_events));
+  }
+
+  const int64_t slow_query_ms = flags.GetInt("slow_query_ms", -1);
+  if (slow_query_ms < -1) {
+    return StartupFailure("bad flag",
+                          "--slow_query_ms=" + std::to_string(slow_query_ms),
+                          Status::InvalidArgument("expected N >= 0"));
+  }
+  if (slow_query_ms >= 0) {
+    service->traces().EnableSlowQueryLog(static_cast<uint64_t>(slow_query_ms) *
+                                         1000);
   }
 
   const int errors = RunServeSession(*service, std::cin, std::cout);

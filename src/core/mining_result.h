@@ -171,6 +171,29 @@ struct MiningStats {
   double elapsed_seconds = 0.0;
 };
 
+/// Fixed-size bridge of the search-space cost counters out of MiningStats,
+/// for layers that need a trivially-copyable view (the obs/trace.h request
+/// ring buffers these per request; MiningStats itself carries a string and
+/// cannot ride in a bounded POD slot). A slow query's trace carries these
+/// so its DFS cost is visible next to its latency (DESIGN.md §13).
+struct DfsCounters {
+  uint64_t nodes_visited = 0;
+  uint64_t insgrow_calls = 0;
+  uint64_t next_queries = 0;
+  uint64_t closure_checks = 0;
+  uint64_t closure_regrow_events = 0;
+};
+
+inline DfsCounters ExtractDfsCounters(const MiningStats& stats) {
+  DfsCounters counters;
+  counters.nodes_visited = stats.nodes_visited;
+  counters.insgrow_calls = stats.insgrow_calls;
+  counters.next_queries = stats.next_queries;
+  counters.closure_checks = stats.closure_checks;
+  counters.closure_regrow_events = stats.closure_regrow_events;
+  return counters;
+}
+
 /// Patterns plus run statistics.
 struct MiningResult {
   std::vector<PatternRecord> patterns;

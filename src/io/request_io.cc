@@ -171,6 +171,24 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
     command.verb = ServeCommand::Verb::kStats;
     return command;
   }
+  if (verb == "metrics") {
+    command.verb = ServeCommand::Verb::kMetrics;
+    return command;
+  }
+  if (verb == "trace") {
+    command.verb = ServeCommand::Verb::kTrace;
+    if (tokens.size() < 2 || tokens[1] != "last" || tokens.size() > 3) {
+      return Status::InvalidArgument("trace: expected 'trace last [n]'");
+    }
+    if (tokens.size() == 3) {
+      uint64_t n = 0;
+      if (!ParseUint64(tokens[2], &n) || n == 0) {
+        return Status::InvalidArgument("trace: bad count '" + tokens[2] + "'");
+      }
+      command.trace_n = static_cast<size_t>(n);
+    }
+    return command;
+  }
   if (verb == "checkpoint") {
     command.verb = ServeCommand::Verb::kCheckpoint;
     return command;
@@ -185,8 +203,8 @@ Result<ServeCommand> ParseServeCommand(std::string_view line) {
   }
   return Status::InvalidArgument(
       "unknown verb '" + verb +
-      "' (append, extend, mine, topk, batch, run, stats, checkpoint, "
-      "recover, quit)");
+      "' (append, extend, mine, topk, batch, run, stats, metrics, trace, "
+      "checkpoint, recover, quit)");
 }
 
 void CanonicalizeMineRequest(MineRequest* request) {
@@ -326,6 +344,8 @@ std::string FormatMineResponse(const MineResponse& response,
 }
 
 std::string FormatServiceStats(const ServiceStats& stats) {
+  // recover_seconds is wall-clock and intentionally omitted: this line
+  // appears in golden transcripts (service_types.h).
   return "stats sequences=" + std::to_string(stats.num_sequences) +
          " alphabet=" + std::to_string(stats.alphabet_size) +
          " events=" + std::to_string(stats.total_events) +
@@ -335,7 +355,11 @@ std::string FormatServiceStats(const ServiceStats& stats) {
          " cache_hits=" + std::to_string(stats.cache_hits) +
          " cache_misses=" + std::to_string(stats.cache_misses) +
          " cache_revalidated=" + std::to_string(stats.cache_revalidated) +
-         " cache_evicted=" + std::to_string(stats.cache_evicted);
+         " cache_evicted=" + std::to_string(stats.cache_evicted) +
+         " wal_segments=" + std::to_string(stats.wal_segments) +
+         " wal_bytes=" + std::to_string(stats.wal_live_bytes) +
+         " checkpoints=" + std::to_string(stats.checkpoints) +
+         " replay_records=" + std::to_string(stats.wal_replay_records);
 }
 
 std::string FormatRecoveryInfo(const RecoveryInfo& info) {

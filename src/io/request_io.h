@@ -15,6 +15,8 @@
 //   batch                                    start collecting mine/topk
 //   run [threads=N]                          execute the batch on ONE snapshot
 //   stats                                    corpus counters
+//   metrics                                  Prometheus-style exposition dump
+//   trace last [n]                           recent request traces, newest first
 //   checkpoint                               spill a durable checkpoint
 //   recover                                  what OpenDurable found on disk
 //   quit                                     end the session
@@ -57,6 +59,8 @@ struct ServeCommand {
     kBatch,
     kRun,
     kStats,
+    kMetrics,
+    kTrace,
     kCheckpoint,
     kRecover,
     kQuit,
@@ -76,6 +80,9 @@ struct ServeCommand {
 
   /// run: worker count for the shared-snapshot batch.
   size_t run_threads = 1;
+
+  /// trace: how many recent traces to print (trace last [n]; default 5).
+  size_t trace_n = 5;
 };
 
 /// Parses one protocol line. The line must not be blank or a comment

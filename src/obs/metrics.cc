@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gsgrow::obs {
+
+uint64_t Histogram::PercentileUpperBound(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += bucket(i);
+    if (cumulative >= rank) {
+      if (i == kHistogramBuckets - 1) {
+        // Saturation bucket: the upper bound is +Inf; report the bucket's
+        // lower bound as the tightest statement the layout supports.
+        return uint64_t{1} << (kHistogramBuckets - 2);
+      }
+      return HistogramBucketUpperBound(i);
+    }
+  }
+  // Concurrent recording can transiently leave count() ahead of the bucket
+  // sum; answer from the highest non-empty bucket.
+  for (size_t i = kHistogramBuckets; i-- > 0;) {
+    if (bucket(i) > 0) return HistogramBucketUpperBound(i);
+  }
+  return 0;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Family* MetricRegistry::FamilyLocked(std::string_view name,
+                                                     std::string_view help,
+                                                     Kind kind) {
+  auto [it, inserted] = families_.try_emplace(std::string(name));
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = help;
+  }
+  // invariant: metric names and kinds are static literals at GSGROW_METRIC_*
+  // sites; a kind clash is a programming error, never runtime input.
+  GSGROW_CHECK_MSG(family.kind == kind,
+                   "metric re-registered with a different kind");
+  return &family;
+}
+
+namespace {
+
+std::string LabelText(std::string_view key, std::string_view value) {
+  if (key.empty()) return "";
+  std::string label(key);
+  label += "=\"";
+  label += value;
+  label += "\"";
+  return label;
+}
+
+}  // namespace
+
+Counter* MetricRegistry::RegisterCounter(std::string_view name,
+                                         std::string_view help,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  MutexLock lock(&mutex_);
+  Family* family = FamilyLocked(name, help, Kind::kCounter);
+  const std::string label = LabelText(label_key, label_value);
+  auto it = family->counters.find(label);
+  if (it != family->counters.end()) return it->second;
+  counters_.emplace_back();
+  Counter* counter = &counters_.back();
+  family->counters.emplace(label, counter);
+  return counter;
+}
+
+Gauge* MetricRegistry::RegisterGauge(std::string_view name,
+                                     std::string_view help) {
+  MutexLock lock(&mutex_);
+  Family* family = FamilyLocked(name, help, Kind::kGauge);
+  auto it = family->gauges.find("");
+  if (it != family->gauges.end()) return it->second;
+  gauges_.emplace_back();
+  Gauge* gauge = &gauges_.back();
+  family->gauges.emplace("", gauge);
+  return gauge;
+}
+
+Histogram* MetricRegistry::RegisterHistogram(std::string_view name,
+                                             std::string_view help,
+                                             std::string_view label_key,
+                                             std::string_view label_value) {
+  MutexLock lock(&mutex_);
+  Family* family = FamilyLocked(name, help, Kind::kHistogram);
+  const std::string label = LabelText(label_key, label_value);
+  auto it = family->histograms.find(label);
+  if (it != family->histograms.end()) return it->second;
+  histograms_.emplace_back();
+  Histogram* histogram = &histograms_.back();
+  family->histograms.emplace(label, histogram);
+  return histogram;
+}
+
+namespace {
+
+void AppendSeriesLine(const std::string& name, const std::string& label,
+                      const std::string& value, std::string* out) {
+  *out += name;
+  if (!label.empty()) {
+    *out += "{";
+    *out += label;
+    *out += "}";
+  }
+  *out += " ";
+  *out += value;
+  *out += "\n";
+}
+
+void AppendHistogram(const std::string& name, const std::string& label,
+                     const Histogram& histogram, std::string* out) {
+  // Snapshot the buckets once so the cumulative lines are monotone even
+  // while other threads keep recording.
+  std::array<uint64_t, kHistogramBuckets> counts;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    counts[i] = histogram.bucket(i);
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += counts[i];
+    std::string le = label;
+    if (!le.empty()) le += ",";
+    le += "le=\"";
+    le += i == kHistogramBuckets - 1
+              ? "+Inf"
+              : std::to_string(HistogramBucketUpperBound(i));
+    le += "\"";
+    AppendSeriesLine(name + "_bucket", le, std::to_string(cumulative), out);
+  }
+  AppendSeriesLine(name + "_sum", label, std::to_string(histogram.sum()),
+                   out);
+  AppendSeriesLine(name + "_count", label, std::to_string(cumulative), out);
+}
+
+}  // namespace
+
+std::string MetricRegistry::ExpositionText() const {
+  MutexLock lock(&mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter: out += "counter\n"; break;
+      case Kind::kGauge: out += "gauge\n"; break;
+      case Kind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [label, counter] : family.counters) {
+      AppendSeriesLine(name, label, std::to_string(counter->value()), &out);
+    }
+    for (const auto& [label, gauge] : family.gauges) {
+      AppendSeriesLine(name, label, std::to_string(gauge->value()), &out);
+    }
+    for (const auto& [label, histogram] : family.histograms) {
+      AppendHistogram(name, label, *histogram, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace gsgrow::obs

@@ -1,0 +1,220 @@
+// Process-wide metric registry for the serving stack (DESIGN.md §13).
+//
+// Three instrument kinds, all safe for concurrent recording via relaxed
+// atomics (no lock on any record path — proven by the ObsMetrics suite in
+// the tsan preset):
+//
+//  * Counter    — monotonic uint64 (requests, cache hits, WAL appends).
+//  * Gauge      — settable int64 (cache occupancy bytes/entries).
+//  * Histogram  — fixed-boundary log2-bucketed latency distribution over
+//    MICROSECONDS: bucket 0 holds exactly the value 0, bucket i (1..26)
+//    holds [2^(i-1), 2^i), and the last bucket saturates at >= 2^26 us
+//    (~67 s). The layout is a compile-time constant — the same value lands
+//    in the same bucket on every build — and p50/p90/p99 are derivable
+//    from the cumulative bucket counts (PercentileUpperBound).
+//
+// Registration returns stable handles: instruments live in deques owned by
+// the registry and are never moved or destroyed, so call sites register
+// ONCE (function-local static) and record through the pointer with zero
+// allocation and zero map lookups per event — the hot-path rule of
+// DESIGN.md §13. Re-registering a name returns the existing handle, so any
+// number of translation units may share a metric family.
+//
+// Registration must go through the GSGROW_METRIC_* macros below (enforced
+// by tools/check_invariants.py, rule metric-register-macro): the macros
+// keep every metric name a literal at one self-describing site, which is
+// what makes the DESIGN.md §13 metric table auditable against the code.
+//
+// The Global() registry backs the serve protocol's `metrics` verb;
+// instantiable registries exist for tests (exposition goldens need a
+// registry whose contents they fully control).
+//
+// Determinism contract: exposition TEXT STRUCTURE (names, labels, bucket
+// boundaries, ordering) is deterministic; VALUES of timing metrics are
+// not. Golden tests normalize values (tools/normalize_metrics.py) and pin
+// structure. Nothing from this layer may enter a serve-response line.
+
+#ifndef GSGROW_OBS_METRICS_H_
+#define GSGROW_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace gsgrow::obs {
+
+/// Monotonic counter. Recording is a single relaxed fetch_add.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable gauge (occupancy-style values that go up and down).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Number of histogram buckets: {0}, 26 log2 ranges, one saturation bucket.
+inline constexpr size_t kHistogramBuckets = 28;
+
+/// Deterministic bucket for `value`: 0 -> 0; otherwise 1 + floor(log2(v)),
+/// saturating at the last bucket. Exposed for the boundary unit tests.
+constexpr size_t HistogramBucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t bucket = 0;
+  while (value > 0) {
+    value >>= 1;
+    ++bucket;
+  }
+  return bucket < kHistogramBuckets ? bucket : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` label):
+/// 0 for bucket 0, 2^i - 1 for the log2 ranges, UINT64_MAX (rendered
+/// "+Inf") for the saturation bucket.
+constexpr uint64_t HistogramBucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kHistogramBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+/// Log2-bucketed latency histogram over microseconds.
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[HistogramBucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Conservative percentile estimate from the bucket counts: the upper
+  /// bound of the bucket containing the rank-ceil(q*count) observation
+  /// (so estimate >= true percentile, and < 2x its value + 1 by the log2
+  /// layout). `q` in [0, 1]; 0 when the histogram is empty. A percentile
+  /// landing in the saturation bucket reports that bucket's lower bound —
+  /// the tightest bound the fixed layout can state.
+  uint64_t PercentileUpperBound(double q) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Registry of named instruments with Prometheus-style text exposition.
+/// One optional label pair per series ("stage=mine", "kind=unknown_verb")
+/// keys families of related series under one name.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry behind the serve protocol's `metrics` verb.
+  static MetricRegistry& Global();
+
+  /// Idempotent by (name, label): the first call creates the instrument,
+  /// later calls return the same handle (help/kind must match — mismatched
+  /// re-registration is a programming error and aborts). Handles stay
+  /// valid for the registry's lifetime. Do not call directly outside
+  /// src/obs/ — use the GSGROW_METRIC_* macros.
+  Counter* RegisterCounter(std::string_view name, std::string_view help,
+                           std::string_view label_key = "",
+                           std::string_view label_value = "")
+      GSGROW_EXCLUDES(mutex_);
+  Gauge* RegisterGauge(std::string_view name, std::string_view help)
+      GSGROW_EXCLUDES(mutex_);
+  Histogram* RegisterHistogram(std::string_view name, std::string_view help,
+                               std::string_view label_key = "",
+                               std::string_view label_value = "")
+      GSGROW_EXCLUDES(mutex_);
+
+  /// Prometheus-style exposition: "# HELP" / "# TYPE" per family, one line
+  /// per series ("name{label} value"), histogram series as cumulative
+  /// _bucket{le="..."} lines plus _sum and _count. Families sorted by
+  /// name, series by label — byte-stable structure for golden diffing
+  /// (values of timing metrics are normalized by the smoke tooling).
+  std::string ExpositionText() const GSGROW_EXCLUDES(mutex_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    // "key=\"value\"" label text (or "") -> instrument, sorted by label.
+    std::map<std::string, Counter*> counters;
+    std::map<std::string, Gauge*> gauges;
+    std::map<std::string, Histogram*> histograms;
+  };
+
+  Family* FamilyLocked(std::string_view name, std::string_view help,
+                       Kind kind) GSGROW_REQUIRES(mutex_);
+
+  mutable Mutex mutex_;  // registration + exposition only; never recording
+  std::map<std::string, Family> families_ GSGROW_GUARDED_BY(mutex_);
+  // Instrument storage: deques never relocate elements, so handles handed
+  // out above stay stable across later registrations.
+  std::deque<Counter> counters_ GSGROW_GUARDED_BY(mutex_);
+  std::deque<Gauge> gauges_ GSGROW_GUARDED_BY(mutex_);
+  std::deque<Histogram> histograms_ GSGROW_GUARDED_BY(mutex_);
+};
+
+}  // namespace gsgrow::obs
+
+// The sanctioned registration spellings (tools/check_invariants.py rule
+// metric-register-macro): every metric a src/ file registers appears at a
+// GSGROW_METRIC_* site with a literal name, one per instrument, typically
+// bound to a function-local static so the lookup happens once.
+#define GSGROW_METRIC_COUNTER(name, help) \
+  ::gsgrow::obs::MetricRegistry::Global().RegisterCounter((name), (help))
+#define GSGROW_METRIC_COUNTER_LABELED(name, help, key, value)      \
+  ::gsgrow::obs::MetricRegistry::Global().RegisterCounter(         \
+      (name), (help), (key), (value))
+#define GSGROW_METRIC_GAUGE(name, help) \
+  ::gsgrow::obs::MetricRegistry::Global().RegisterGauge((name), (help))
+#define GSGROW_METRIC_HISTOGRAM(name, help) \
+  ::gsgrow::obs::MetricRegistry::Global().RegisterHistogram((name), (help))
+#define GSGROW_METRIC_HISTOGRAM_LABELED(name, help, key, value)    \
+  ::gsgrow::obs::MetricRegistry::Global().RegisterHistogram(       \
+      (name), (help), (key), (value))
+
+#endif  // GSGROW_OBS_METRICS_H_

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <iostream>
+#include <utility>
+
+namespace gsgrow::obs {
+
+std::string FormatRequestTrace(const RequestTrace& trace) {
+  std::string out = "trace id=" + std::to_string(trace.id);
+  out += " verb=" + (trace.verb.empty() ? "?" : trace.verb);
+  out += " total_us=" + std::to_string(trace.total_us);
+  for (size_t i = 0; i < kNumStages; ++i) {
+    out += " ";
+    out += StageName(static_cast<Stage>(i));
+    out += "_us=" + std::to_string(trace.stage_us[i]);
+  }
+  out += " epoch=" + std::to_string(trace.epoch);
+  out += " patterns=" + std::to_string(trace.patterns);
+  out += " cache_hit=" + std::to_string(trace.cache_hit ? 1 : 0);
+  out += " ok=" + std::to_string(trace.ok ? 1 : 0);
+  out += " dfs_nodes=" + std::to_string(trace.dfs.nodes_visited);
+  out += " dfs_insgrow=" + std::to_string(trace.dfs.insgrow_calls);
+  out += " dfs_next_queries=" + std::to_string(trace.dfs.next_queries);
+  out += " dfs_closure_checks=" + std::to_string(trace.dfs.closure_checks);
+  out +=
+      " dfs_closure_regrow=" + std::to_string(trace.dfs.closure_regrow_events);
+  return out;
+}
+
+namespace {
+
+Counter* SlowQueryCounter() {
+  static Counter* const counter = GSGROW_METRIC_COUNTER(
+      "gsgrow_slow_queries_total",
+      "Requests whose total latency met the slow-query threshold");
+  return counter;
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(const TraceRecorderOptions& options)
+    : capacity_(options.capacity == 0 ? 1 : options.capacity) {
+  MutexLock lock(&mutex_);
+  slow_enabled_ = options.slow_query_enabled;
+  slow_micros_ = options.slow_query_micros;
+  slow_log_ = options.slow_log;
+}
+
+uint64_t TraceRecorder::Record(RequestTrace trace) {
+  MutexLock lock(&mutex_);
+  trace.id = next_id_++;
+  if (slow_enabled_ && trace.total_us >= slow_micros_) {
+    trace.slow = true;
+    slow_queries_.fetch_add(1, std::memory_order_relaxed);
+    SlowQueryCounter()->Increment();
+    std::ostream& log = slow_log_ != nullptr ? *slow_log_ : std::cerr;
+    log << "[gsgrow] slow_query threshold_us=" << slow_micros_ << " "
+        << FormatRequestTrace(trace) << "\n";
+  }
+  const uint64_t id = trace.id;
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > capacity_) ring_.pop_front();
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::vector<RequestTrace> TraceRecorder::Recent(size_t n) const {
+  MutexLock lock(&mutex_);
+  std::vector<RequestTrace> out;
+  const size_t count = n < ring_.size() ? n : ring_.size();
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[ring_.size() - 1 - i]);
+  }
+  return out;
+}
+
+void TraceRecorder::EnableSlowQueryLog(uint64_t micros) {
+  MutexLock lock(&mutex_);
+  slow_enabled_ = true;
+  slow_micros_ = micros;
+}
+
+void TraceRecorder::DisableSlowQueryLog() {
+  MutexLock lock(&mutex_);
+  slow_enabled_ = false;
+}
+
+void TraceRecorder::SetSlowLogStream(std::ostream* log) {
+  MutexLock lock(&mutex_);
+  slow_log_ = log;
+}
+
+}  // namespace gsgrow::obs

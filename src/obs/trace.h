@@ -1,0 +1,190 @@
+// Per-request stage tracing for the serving stack (DESIGN.md §13).
+//
+// A RequestTrace decomposes one request's latency into the typed stage
+// spans of the request path — parse, canonicalize, cache probe, snapshot
+// acquire, mine, annotate, serialize, WAL sync — and carries the request's
+// DFS cost counters (core/mining_result.h DfsCounters), so a slow query
+// shows WHERE the time went and how big its search space was, in one line.
+// The annotate stage exists in the taxonomy for completeness: the one-pass
+// engine fuses annotation into mining (DESIGN.md §7), so serving traces
+// report it as 0 and its time rides in the mine span.
+//
+// TraceRecorder keeps a bounded ring of recent traces (the protocol's
+// `trace last [n]` verb) and a threshold-gated slow-query log: traces
+// whose total latency meets the threshold are counted, marked, and written
+// as one line to the slow log stream (stderr by default — NEVER the
+// protocol stream, so golden transcripts stay deterministic).
+//
+// Stage spans are measured by StageTimer, which adds the elapsed
+// microseconds to the trace slot AND to the stage's latency histogram in
+// one stop — pre-registered handles, zero allocation per span.
+
+#ifndef GSGROW_OBS_TRACE_H_
+#define GSGROW_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mining_result.h"
+#include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace gsgrow::obs {
+
+/// The stage taxonomy of one served request, in request-path order.
+enum class Stage : uint8_t {
+  kParse = 0,      // protocol line -> typed ServeCommand
+  kCanonicalize,   // request canonicalization + cache key rendering
+  kCacheProbe,     // result-cache lookup (and insert on miss)
+  kSnapshot,       // epoch snapshot acquire (index freeze on a dirty corpus)
+  kMine,           // the DFS growth run (annotation fused in, §7)
+  kAnnotate,       // reserved: 0 in serving traces (fused into kMine)
+  kSerialize,      // response formatting onto the protocol stream
+  kWalSync,        // durability: WAL append + sync for mutations
+};
+
+inline constexpr size_t kNumStages = 8;
+
+/// Stable snake-case stage name (metric labels, trace lines, DESIGN.md).
+constexpr std::string_view StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kParse: return "parse";
+    case Stage::kCanonicalize: return "canonicalize";
+    case Stage::kCacheProbe: return "cache_probe";
+    case Stage::kSnapshot: return "snapshot";
+    case Stage::kMine: return "mine";
+    case Stage::kAnnotate: return "annotate";
+    case Stage::kSerialize: return "serialize";
+    case Stage::kWalSync: return "wal_sync";
+  }
+  return "unknown";
+}
+
+/// One request's trace: stage spans in microseconds plus outcome shape.
+struct RequestTrace {
+  uint64_t id = 0;  // assigned by TraceRecorder::Record, 1-based
+  std::string verb;
+  std::array<uint64_t, kNumStages> stage_us{};
+  uint64_t total_us = 0;
+  uint64_t epoch = 0;
+  uint64_t patterns = 0;
+  bool cache_hit = false;
+  bool ok = true;
+  bool slow = false;  // stamped by Record against the active threshold
+  DfsCounters dfs;
+
+  void AddStage(Stage stage, uint64_t us) {
+    stage_us[static_cast<size_t>(stage)] += us;
+  }
+};
+
+/// One line, deterministic field order:
+///   trace id=.. verb=.. total_us=.. <stage>_us=.. ... epoch=.. patterns=..
+///   cache_hit=0|1 ok=0|1 dfs_nodes=.. dfs_insgrow=.. dfs_next_queries=..
+///   dfs_closure_checks=.. dfs_closure_regrow=..
+/// Carries wall-clock values: goldens must normalize *_us (the metrics
+/// smoke tooling does) — never pin these bytes raw.
+std::string FormatRequestTrace(const RequestTrace& trace);
+
+struct TraceRecorderOptions {
+  /// Ring capacity (recent traces kept for `trace last`).
+  size_t capacity = 128;
+  /// Slow-query log: disabled unless enabled here or via
+  /// EnableSlowQueryLog. Threshold 0 with the log enabled marks EVERY
+  /// request slow (the metrics-smoke step uses that to fire the log
+  /// deterministically).
+  bool slow_query_enabled = false;
+  uint64_t slow_query_micros = 0;
+  /// Slow-log sink; nullptr means stderr. Tests inject a string stream.
+  std::ostream* slow_log = nullptr;
+};
+
+/// Bounded ring of recent request traces + threshold-gated slow-query log.
+/// Internally synchronized; Record is called once per request (the spans
+/// inside the request record lock-free through StageTimer).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const TraceRecorderOptions& options = {});
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Assigns the trace its id, applies the slow-query gate (count + mark +
+  /// log line), and appends it to the ring. Returns the id.
+  uint64_t Record(RequestTrace trace) GSGROW_EXCLUDES(mutex_);
+
+  /// Up to `n` most recent traces, newest first.
+  std::vector<RequestTrace> Recent(size_t n) const GSGROW_EXCLUDES(mutex_);
+
+  /// Arms the slow-query log at `micros` (0 = every request is slow).
+  void EnableSlowQueryLog(uint64_t micros) GSGROW_EXCLUDES(mutex_);
+  void DisableSlowQueryLog() GSGROW_EXCLUDES(mutex_);
+
+  /// Redirects the slow-query log (nullptr = stderr). Test seam.
+  void SetSlowLogStream(std::ostream* log) GSGROW_EXCLUDES(mutex_);
+
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_queries() const {
+    return slow_queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+
+  mutable Mutex mutex_;
+  std::deque<RequestTrace> ring_ GSGROW_GUARDED_BY(mutex_);
+  uint64_t next_id_ GSGROW_GUARDED_BY(mutex_) = 1;
+  bool slow_enabled_ GSGROW_GUARDED_BY(mutex_) = false;
+  uint64_t slow_micros_ GSGROW_GUARDED_BY(mutex_) = 0;
+  std::ostream* slow_log_ GSGROW_GUARDED_BY(mutex_) = nullptr;
+
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_queries_{0};
+};
+
+/// Measures one stage span: from construction to Stop() (or destruction),
+/// the elapsed microseconds are added to `trace`'s stage slot (when trace
+/// is non-null) and recorded into `histogram` (when non-null). Stop is
+/// idempotent, so a scoped timer can also be cut short explicitly.
+class StageTimer {
+ public:
+  StageTimer(RequestTrace* trace, Stage stage, Histogram* histogram)
+      : trace_(trace), stage_(stage), histogram_(histogram) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { Stop(); }
+
+  uint64_t Stop() {
+    if (stopped_) return elapsed_us_;
+    stopped_ = true;
+    elapsed_us_ = timer_.ElapsedMicros();
+    if (trace_ != nullptr) trace_->AddStage(stage_, elapsed_us_);
+    if (histogram_ != nullptr) histogram_->Record(elapsed_us_);
+    return elapsed_us_;
+  }
+
+ private:
+  RequestTrace* const trace_;
+  const Stage stage_;
+  Histogram* const histogram_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  uint64_t elapsed_us_ = 0;
+};
+
+}  // namespace gsgrow::obs
+
+#endif  // GSGROW_OBS_TRACE_H_

@@ -12,6 +12,7 @@
 #include "core/gsgrow.h"
 #include "core/parallel_engine.h"
 #include "core/topk.h"
+#include "obs/metrics.h"
 #include "persist/file_io.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -19,6 +20,70 @@
 namespace gsgrow {
 
 namespace {
+
+// Pre-registered metric handles (DESIGN.md §13 zero-allocation rule): the
+// registry is consulted once, at first use; every record afterwards is a
+// relaxed atomic through these pointers.
+struct ServiceMetrics {
+  obs::Counter* requests = nullptr;
+  obs::Histogram* request_us = nullptr;
+  std::array<obs::Histogram*, obs::kNumStages> stage{};
+  obs::Counter* wal_appends = nullptr;
+  obs::Histogram* wal_append_us = nullptr;
+  obs::Counter* wal_syncs = nullptr;
+  obs::Histogram* wal_sync_us = nullptr;
+  obs::Counter* checkpoints = nullptr;
+  obs::Histogram* checkpoint_us = nullptr;
+};
+
+ServiceMetrics MakeServiceMetrics() {
+  ServiceMetrics m;
+  m.requests = GSGROW_METRIC_COUNTER(
+      "gsgrow_requests_total",
+      "Requests recorded in the trace ring (queries and mutations)");
+  m.request_us = GSGROW_METRIC_HISTOGRAM(
+      "gsgrow_request_us", "Total request latency in microseconds");
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    m.stage[i] = GSGROW_METRIC_HISTOGRAM_LABELED(
+        "gsgrow_request_stage_us",
+        "Per-stage request latency in microseconds", "stage",
+        obs::StageName(static_cast<obs::Stage>(i)));
+  }
+  m.wal_appends = GSGROW_METRIC_COUNTER("gsgrow_wal_appends_total",
+                                        "WAL records appended");
+  m.wal_append_us = GSGROW_METRIC_HISTOGRAM(
+      "gsgrow_wal_append_us", "WAL record append latency in microseconds");
+  m.wal_syncs =
+      GSGROW_METRIC_COUNTER("gsgrow_wal_syncs_total", "WAL fsync calls");
+  m.wal_sync_us = GSGROW_METRIC_HISTOGRAM(
+      "gsgrow_wal_sync_us", "WAL fsync latency in microseconds");
+  m.checkpoints = GSGROW_METRIC_COUNTER("gsgrow_checkpoints_total",
+                                        "Checkpoints taken");
+  m.checkpoint_us = GSGROW_METRIC_HISTOGRAM(
+      "gsgrow_checkpoint_us", "Checkpoint latency in microseconds");
+  return m;
+}
+
+ServiceMetrics& Metrics() {
+  static ServiceMetrics metrics = MakeServiceMetrics();
+  return metrics;
+}
+
+obs::Histogram* StageHistogram(obs::Stage stage) {
+  return Metrics().stage[static_cast<size_t>(stage)];
+}
+
+// Trace verb for requests the service traces itself (direct Execute and
+// batch workers); the serve session overrides with the protocol verb.
+std::string_view MinerLabel(MineRequest::Miner miner) {
+  switch (miner) {
+    case MineRequest::Miner::kAll: return "mine:all";
+    case MineRequest::Miner::kClosed: return "mine:closed";
+    case MineRequest::Miner::kTopK: return "topk";
+    case MineRequest::Miner::kGapConstrained: return "mine:gap";
+  }
+  return "mine";
+}
 
 // Position-space guard shared by the append paths: validated up front so
 // oversized client input yields Status(kOutOfRange), not a GSGROW_CHECK
@@ -107,14 +172,20 @@ Status MiningService::LogWalRecordLocked(serve::LogRecordType type,
                                          const std::string& payload) {
   if (!durable_) return Status::OK();
   if (!wal_status_.ok()) return wal_status_;
+  const WallTimer timer;
   Status status = wal_.Append(static_cast<uint8_t>(type), payload);
+  Metrics().wal_append_us->Record(timer.ElapsedMicros());
+  Metrics().wal_appends->Increment();
   if (!status.ok()) wal_status_ = status;
   return status;
 }
 
 Status MiningService::SyncWalLocked() {
   if (!wal_status_.ok()) return wal_status_;
+  const WallTimer timer;
   Status status = wal_.Sync();
+  Metrics().wal_sync_us->Record(timer.ElapsedMicros());
+  Metrics().wal_syncs->Increment();
   if (!status.ok()) wal_status_ = status;
   return status;
 }
@@ -178,7 +249,8 @@ Status MiningService::LogMutationLocked(
 // the mutation returns the error and sticks — the service refuses further
 // writes rather than letting memory and log diverge.
 
-Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
+Result<SeqId> MiningService::Append(const std::vector<std::string>& names,
+                                    obs::RequestTrace* trace) {
   MutexLock lock(&mutex_);
   GSGROW_RETURN_NOT_OK(CheckPositionSpace(0, names.size()));
   if (db_.size() >= static_cast<size_t>(kNoPosition)) {
@@ -188,8 +260,16 @@ Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
   std::vector<std::pair<EventId, const std::string*>> fresh;
   ResolveIdsLocked(names, &ids, &fresh);
   const SeqId seq = static_cast<SeqId>(db_.size());
-  GSGROW_RETURN_NOT_OK(
-      LogMutationLocked(fresh, serve::LogRecordType::kAddSequence, seq, ids));
+  // The kWalSync span covers the mutation's whole durability cost: record
+  // encode + log append, plus the policy-driven sync after the mutation
+  // (the in-memory mutate between them is excluded on purpose).
+  uint64_t wal_us = 0;
+  {
+    const WallTimer timer;
+    GSGROW_RETURN_NOT_OK(LogMutationLocked(
+        fresh, serve::LogRecordType::kAddSequence, seq, ids));
+    wal_us += timer.ElapsedMicros();
+  }
   for (const auto& [id, name] : fresh) {
     const EventId interned = db_.dictionary().Intern(*name);
     // invariant: ResolveIdsLocked predicted dense first-use ids under this
@@ -202,12 +282,20 @@ Result<SeqId> MiningService::Append(const std::vector<std::string>& names) {
   GSGROW_CHECK(seq == db_seq && seq == index_seq);
   snapshot_cache_.reset();
   ++appends_;
-  GSGROW_RETURN_NOT_OK(MaybeSyncWalLocked(false));
+  {
+    const WallTimer timer;
+    const Status sync = MaybeSyncWalLocked(false);
+    wal_us += timer.ElapsedMicros();
+    if (trace != nullptr) trace->AddStage(obs::Stage::kWalSync, wal_us);
+    if (durable_) StageHistogram(obs::Stage::kWalSync)->Record(wal_us);
+    GSGROW_RETURN_NOT_OK(sync);
+  }
   return seq;
 }
 
 Status MiningService::AppendTo(SeqId seq,
-                               const std::vector<std::string>& names) {
+                               const std::vector<std::string>& names,
+                               obs::RequestTrace* trace) {
   MutexLock lock(&mutex_);
   if (seq >= db_.size()) {
     return Status::NotFound("unknown sequence id " + std::to_string(seq));
@@ -217,8 +305,13 @@ Status MiningService::AppendTo(SeqId seq,
   std::vector<EventId> ids;
   std::vector<std::pair<EventId, const std::string*>> fresh;
   ResolveIdsLocked(names, &ids, &fresh);
-  GSGROW_RETURN_NOT_OK(
-      LogMutationLocked(fresh, serve::LogRecordType::kAppendTo, seq, ids));
+  uint64_t wal_us = 0;
+  {
+    const WallTimer timer;
+    GSGROW_RETURN_NOT_OK(
+        LogMutationLocked(fresh, serve::LogRecordType::kAppendTo, seq, ids));
+    wal_us += timer.ElapsedMicros();
+  }
   for (const auto& [id, name] : fresh) {
     const EventId interned = db_.dictionary().Intern(*name);
     // invariant: same dense-id prediction as Append (one lock, one path).
@@ -228,7 +321,12 @@ Status MiningService::AppendTo(SeqId seq,
   index_.AppendToSequence(seq, ids);
   snapshot_cache_.reset();
   ++appends_;
-  return MaybeSyncWalLocked(false);
+  const WallTimer timer;
+  const Status sync = MaybeSyncWalLocked(false);
+  wal_us += timer.ElapsedMicros();
+  if (trace != nullptr) trace->AddStage(obs::Stage::kWalSync, wal_us);
+  if (durable_) StageHistogram(obs::Stage::kWalSync)->Record(wal_us);
+  return sync;
 }
 
 Result<SeqId> MiningService::AppendIds(std::span<const EventId> events) {
@@ -345,32 +443,81 @@ MineResponse MiningService::Execute(const MineRequest& request) {
 
 MineResponse MiningService::Execute(
     const MineRequest& request,
-    std::shared_ptr<const ServiceSnapshot>* snapshot_out) {
+    std::shared_ptr<const ServiceSnapshot>* snapshot_out,
+    obs::RequestTrace* trace) {
+  if (trace == nullptr) {
+    // No caller-owned trace: the service traces and records the request
+    // itself, so every query lands in the ring exactly once.
+    obs::RequestTrace local;
+    const WallTimer total;
+    MineResponse response = Execute(request, snapshot_out, &local);
+    local.total_us = total.ElapsedMicros();
+    RecordRequestTrace(std::move(local));
+    return response;
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
-  *snapshot_out = Snapshot();
-  return ExecuteCached(**snapshot_out, request);
+  if (trace->verb.empty()) trace->verb = MinerLabel(request.miner);
+  {
+    obs::StageTimer timer(trace, obs::Stage::kSnapshot,
+                          StageHistogram(obs::Stage::kSnapshot));
+    *snapshot_out = Snapshot();
+  }
+  MineResponse response = ExecuteCached(**snapshot_out, request, trace);
+  trace->epoch = response.epoch;
+  trace->patterns = response.patterns.size();
+  trace->ok = response.status.ok();
+  trace->dfs = ExtractDfsCounters(response.stats);
+  return response;
+}
+
+void MiningService::RecordRequestTrace(obs::RequestTrace trace) {
+  Metrics().requests->Increment();
+  Metrics().request_us->Record(trace.total_us);
+  traces_.Record(std::move(trace));
 }
 
 MineResponse MiningService::ExecuteCached(const ServiceSnapshot& snapshot,
-                                          const MineRequest& request) {
+                                          const MineRequest& request,
+                                          obs::RequestTrace* trace) {
   if (cache_ == nullptr || !CacheableRequest(request)) {
-    return ExecuteOn(snapshot, request);
+    return ExecuteMineStage(snapshot, request, trace);
   }
   MineRequest canonical = request;
-  CanonicalizeMineRequest(&canonical);
-  const ResultCacheKey key = CanonicalRequestKey(canonical);
+  ResultCacheKey key = [&] {
+    obs::StageTimer timer(trace, obs::Stage::kCanonicalize,
+                          StageHistogram(obs::Stage::kCanonicalize));
+    CanonicalizeMineRequest(&canonical);
+    return CanonicalRequestKey(canonical);
+  }();
+  obs::StageTimer probe_timer(trace, obs::Stage::kCacheProbe,
+                              StageHistogram(obs::Stage::kCacheProbe));
   CacheLookup lookup = cache_->Lookup(key, canonical, snapshot);
-  if (lookup.hit) return std::move(lookup.response);
+  probe_timer.Stop();
+  if (lookup.hit) {
+    if (trace != nullptr) trace->cache_hit = true;
+    return std::move(lookup.response);
+  }
   // Miss: mine outside every lock. The original request executes (its
   // thread count is an execution hint the canonical form strips), with the
   // answer-invariant warm-start floor from a dirty entry when one existed.
   MineRequest warmed = request;
   warmed.topk_support_floor_hint = lookup.warm_support_floor;
-  MineResponse response = ExecuteOn(snapshot, warmed);
+  MineResponse response = ExecuteMineStage(snapshot, warmed, trace);
   if (CacheableResponse(response)) {
+    // The insert rides in the cache-probe span: both halves are the
+    // cache's bookkeeping cost around the mine.
+    obs::StageTimer insert_timer(trace, obs::Stage::kCacheProbe, nullptr);
     cache_->Insert(key, canonical, response, snapshot);
   }
   return response;
+}
+
+MineResponse MiningService::ExecuteMineStage(const ServiceSnapshot& snapshot,
+                                             const MineRequest& request,
+                                             obs::RequestTrace* trace) {
+  obs::StageTimer timer(trace, obs::Stage::kMine,
+                        StageHistogram(obs::Stage::kMine));
+  return ExecuteOn(snapshot, request);
 }
 
 MineResponse MiningService::ExecuteOn(const ServiceSnapshot& snapshot,
@@ -444,9 +591,25 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
   const size_t workers =
       std::min(ResolveNumThreads(num_threads), std::max<size_t>(
                                                    requests.size(), 1));
+  // Every batch request is traced like a direct Execute (verb from the
+  // miner label): the batch envelope shares one snapshot, so per-request
+  // traces carry no snapshot span.
+  const auto run_one = [&](const MineRequest& request) {
+    obs::RequestTrace trace;
+    trace.verb = MinerLabel(request.miner);
+    const WallTimer total;
+    MineResponse response = ExecuteCached(*snapshot, request, &trace);
+    trace.total_us = total.ElapsedMicros();
+    trace.epoch = response.epoch;
+    trace.patterns = response.patterns.size();
+    trace.ok = response.status.ok();
+    trace.dfs = ExtractDfsCounters(response.stats);
+    RecordRequestTrace(std::move(trace));
+    return response;
+  };
   if (workers <= 1) {
     for (size_t i = 0; i < requests.size(); ++i) {
-      responses[i] = ExecuteCached(*snapshot, requests[i]);
+      responses[i] = run_one(requests[i]);
     }
     return responses;
   }
@@ -468,7 +631,7 @@ std::vector<MineResponse> MiningService::ExecuteBatch(
            i = next.fetch_add(1, std::memory_order_relaxed)) {
         MineRequest request = requests[i];
         request.options.num_threads = 1;
-        responses[i] = ExecuteCached(*snapshot, request);
+        responses[i] = run_one(request);
       }
     });
   }
@@ -491,6 +654,13 @@ ServiceStats MiningService::Stats() {
     stats.cache_misses = counters.misses;
     stats.cache_revalidated = counters.revalidated;
     stats.cache_evicted = counters.evicted;
+  }
+  if (durable_) {
+    stats.wal_segments = wal_segment_ - wal_first_live_segment_ + 1;
+    stats.wal_live_bytes = wal_bytes_before_active_ + wal_.offset();
+    stats.checkpoints = checkpoints_;
+    stats.wal_replay_records = recovery_.wal_replay_records;
+    stats.recover_seconds = recovery_.recover_seconds;
   }
   return stats;
 }
@@ -655,6 +825,10 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
     Result<persist::WalReadResult> read =
         persist::ReadWalFile(path, /*tolerate_torn_tail=*/last);
     if (!read.ok()) return read.status();
+    // Live-bytes accounting: retained segments before the active one
+    // contribute their valid bytes; the active segment's size is the
+    // writer's offset (ServiceStats::wal_live_bytes).
+    if (!last) service->wal_bytes_before_active_ += read->valid_bytes;
     for (const persist::WalRecord& raw : read->records) {
       Result<serve::LogRecord> decoded = serve::DecodeLogRecord(raw);
       if (!decoded.ok()) return decoded.status();
@@ -677,6 +851,7 @@ Result<std::unique_ptr<MiningService>> MiningService::OpenDurable(
   if (!wal.ok()) return wal.status();
   service->wal_ = std::move(*wal);
   service->wal_segment_ = active_segment;
+  service->wal_first_live_segment_ = start_segment;
   GSGROW_RETURN_NOT_OK(persist::SyncDir(options.dir));
 
   info.recovered_sequences = service->db_.size();
@@ -698,6 +873,7 @@ Status MiningService::Checkpoint() {
     return Status::InvalidArgument("checkpoint on a non-durable service");
   }
   if (!wal_status_.ok()) return wal_status_;
+  const WallTimer checkpoint_timer;
   // Settle the epoch (and its trajectory record) so the spilled counter is
   // the one a reader of this corpus observes.
   SnapshotLocked();
@@ -719,6 +895,8 @@ Status MiningService::Checkpoint() {
       "to land supersedes it; a close failure cannot lose data");
   wal_ = std::move(*fresh);
   wal_segment_ = next_segment;
+  wal_first_live_segment_ = next_segment;
+  wal_bytes_before_active_ = 0;
   unsynced_appends_ = 0;
 
   GSGROW_RETURN_NOT_OK(serve::WriteServeCheckpoint(dopts_.dir, db_,
@@ -742,6 +920,9 @@ Status MiningService::Checkpoint() {
                          "durability of the deletions is not required for "
                          "correctness — stale segments are inert");
   }
+  ++checkpoints_;
+  Metrics().checkpoints->Increment();
+  Metrics().checkpoint_us->Record(checkpoint_timer.ElapsedMicros());
   return Status::OK();
 }
 

@@ -38,6 +38,7 @@
 #include "core/mining_result.h"
 #include "core/reference.h"
 #include "core/sequence_database.h"
+#include "obs/trace.h"
 #include "persist/wal.h"
 #include "serve/appendable_database.h"
 #include "serve/durability.h"
@@ -118,14 +119,17 @@ class MiningService {
 
   /// Appends a new sequence of event names; returns its id. Bad input
   /// (position-space exhaustion) and WAL failures come back as a Status —
-  /// client data never fires an invariant check.
-  Result<SeqId> Append(const std::vector<std::string>& names)
+  /// client data never fires an invariant check. A non-null `trace`
+  /// receives the mutation's WAL log+sync span (obs::Stage::kWalSync).
+  Result<SeqId> Append(const std::vector<std::string>& names,
+                       obs::RequestTrace* trace = nullptr)
       GSGROW_EXCLUDES(mutex_);
 
   /// Appends events to the end of existing sequence `seq`. NotFound for an
   /// unknown id, OutOfRange when the sequence's position space would
   /// overflow — validated BEFORE anything is logged or mutated.
-  Status AppendTo(SeqId seq, const std::vector<std::string>& names)
+  Status AppendTo(SeqId seq, const std::vector<std::string>& names,
+                  obs::RequestTrace* trace = nullptr)
       GSGROW_EXCLUDES(mutex_);
 
   /// Id-based variants for programmatic feeds (generators, replicated
@@ -155,9 +159,16 @@ class MiningService {
   /// tests/serve/result_cache_test.cc. The two-argument form hands the
   /// snapshot back (formatting layers need its dictionary, and taking
   /// another would advance the epoch).
+  /// A non-null `trace` receives the request's stage spans and DFS
+  /// counters; the CALLER then owns finishing it (total_us) and handing it
+  /// to RecordRequestTrace — the serve session does that after timing the
+  /// serialize stage. With trace == nullptr the service traces the request
+  /// itself and records it, so direct API callers (benches, tests,
+  /// ExecuteBatch workers) land in the trace ring too.
   MineResponse Execute(const MineRequest& request);
   MineResponse Execute(const MineRequest& request,
-                       std::shared_ptr<const ServiceSnapshot>* snapshot_out);
+                       std::shared_ptr<const ServiceSnapshot>* snapshot_out,
+                       obs::RequestTrace* trace = nullptr);
 
   /// Executes one request against a caller-held snapshot (shared across
   /// queries). Pure: touches no service state — and therefore no cache —
@@ -189,14 +200,29 @@ class MiningService {
   /// What OpenDurable found (zeroed for in-memory services).
   const RecoveryInfo& recovery_info() const { return recovery_; }
 
+  /// The ring of recent request traces + slow-query log (obs/trace.h).
+  /// serve_cli arms the slow-query threshold here (--slow_query_ms).
+  obs::TraceRecorder& traces() { return traces_; }
+
+  /// Finishes one request trace: records the process-wide request-latency
+  /// metrics from trace.total_us (which the caller must have stamped) and
+  /// appends the trace to the ring, applying the slow-query gate.
+  void RecordRequestTrace(obs::RequestTrace trace);
+
  private:
   // The cached-execution path shared by Execute and the ExecuteBatch
   // workers: canonicalize → Lookup → on miss, mine outside every lock with
   // the warm-start hint → Insert-if-absent. Uncacheable requests (finite
   // time budget, collect_patterns off) bypass the cache entirely.
   MineResponse ExecuteCached(const ServiceSnapshot& snapshot,
-                             const MineRequest& request)
+                             const MineRequest& request,
+                             obs::RequestTrace* trace)
       GSGROW_EXCLUDES(mutex_);
+
+  // ExecuteOn wrapped in the kMine stage span (trace may be null).
+  static MineResponse ExecuteMineStage(const ServiceSnapshot& snapshot,
+                                       const MineRequest& request,
+                                       obs::RequestTrace* trace);
 
   // Durable mutation plumbing (all called with mutex_ held — enforced by
   // the thread-safety analysis under the `thread-safety` preset).
@@ -251,6 +277,12 @@ class MiningService {
   DurabilityOptions dopts_;
   persist::WalWriter wal_ GSGROW_GUARDED_BY(mutex_);
   uint64_t wal_segment_ GSGROW_GUARDED_BY(mutex_) = 0;
+  // Durability observability (ServiceStats): the first still-live segment,
+  // bytes across live segments BEFORE the active one (the active segment's
+  // size is wal_.offset()), and checkpoints taken by this incarnation.
+  uint64_t wal_first_live_segment_ GSGROW_GUARDED_BY(mutex_) = 0;
+  uint64_t wal_bytes_before_active_ GSGROW_GUARDED_BY(mutex_) = 0;
+  uint64_t checkpoints_ GSGROW_GUARDED_BY(mutex_) = 0;
   size_t unsynced_appends_ GSGROW_GUARDED_BY(mutex_) = 0;
   // Sticky: once a WAL write or sync fails, every later mutation fails fast
   // with the original error instead of diverging memory from the log.
@@ -258,6 +290,9 @@ class MiningService {
   RecoveryInfo recovery_;
   // Reused record-encoding buffer.
   std::string scratch_payload_ GSGROW_GUARDED_BY(mutex_);
+
+  // Recent-request ring + slow-query log; internally synchronized.
+  obs::TraceRecorder traces_;
 };
 
 }  // namespace gsgrow

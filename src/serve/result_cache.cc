@@ -3,9 +3,45 @@
 #include <algorithm>
 #include <span>
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace gsgrow {
 
 namespace {
+
+// Pre-registered metric handles (DESIGN.md §13): resolved once, so the
+// per-lookup cost is an atomic add — no registry map lookups on the hot
+// path.
+struct CacheMetrics {
+  obs::Histogram* lookup_hit_us;
+  obs::Histogram* lookup_revalidated_us;
+  obs::Histogram* lookup_miss_us;
+  obs::Gauge* bytes;
+  obs::Gauge* entries;
+};
+
+CacheMetrics MakeCacheMetrics() {
+  CacheMetrics m;
+  const char* lookup_help =
+      "Result-cache lookup latency by outcome, microseconds";
+  m.lookup_hit_us = GSGROW_METRIC_HISTOGRAM_LABELED(
+      "gsgrow_cache_lookup_us", lookup_help, "outcome", "hit");
+  m.lookup_revalidated_us = GSGROW_METRIC_HISTOGRAM_LABELED(
+      "gsgrow_cache_lookup_us", lookup_help, "outcome", "revalidated");
+  m.lookup_miss_us = GSGROW_METRIC_HISTOGRAM_LABELED(
+      "gsgrow_cache_lookup_us", lookup_help, "outcome", "miss");
+  m.bytes = GSGROW_METRIC_GAUGE("gsgrow_cache_bytes",
+                                "Approximate bytes held by the result cache");
+  m.entries = GSGROW_METRIC_GAUGE("gsgrow_cache_entries",
+                                  "Entries held by the result cache");
+  return m;
+}
+
+CacheMetrics& Metrics() {
+  static CacheMetrics metrics = MakeCacheMetrics();
+  return metrics;
+}
 
 // Approximate deep size of one cached entry: the vectors dominate, so the
 // estimate is container payloads plus per-record struct overhead. Exactness
@@ -104,14 +140,17 @@ CacheLookup ResultCache::Lookup(const ResultCacheKey& key,
                                 const MineRequest& request,
                                 const ServiceSnapshot& snapshot) {
   CacheLookup out;
+  const WallTimer timer;
   MutexLock lock(&mutex_);
   const auto it = map_.find(key.text());
   if (it == map_.end()) {
     ++misses_;
+    Metrics().lookup_miss_us->Record(timer.ElapsedMicros());
     return out;
   }
   Entry& entry = *it->second;
   bool clean = false;
+  bool crossed_epoch = false;
   if (entry.epoch == snapshot.epoch) {
     clean = true;
   } else if (entry.epoch < snapshot.epoch &&
@@ -123,6 +162,7 @@ CacheLookup ResultCache::Lookup(const ResultCacheKey& key,
     entry.response.epoch = snapshot.epoch;
     ++revalidated_;
     clean = true;
+    crossed_epoch = true;
   }
   if (!clean) {
     // Dirty (or stamped with a FUTURE epoch by a racing batch worker):
@@ -135,12 +175,15 @@ CacheLookup ResultCache::Lookup(const ResultCacheKey& key,
       out.warm_support_floor =
           entry.response.patterns[request.k - 1].support;
     }
+    Metrics().lookup_miss_us->Record(timer.ElapsedMicros());
     return out;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   ++hits_;
   out.hit = true;
   out.response = entry.response;
+  (crossed_epoch ? Metrics().lookup_revalidated_us : Metrics().lookup_hit_us)
+      ->Record(timer.ElapsedMicros());
   return out;
 }
 
@@ -185,6 +228,8 @@ void ResultCache::Insert(const ResultCacheKey& key, const MineRequest& request,
     map_.emplace(lru_.front().key, lru_.begin());
   }
   EvictToBudgetLocked();
+  Metrics().bytes->Set(static_cast<int64_t>(bytes_));
+  Metrics().entries->Set(static_cast<int64_t>(map_.size()));
 }
 
 void ResultCache::EvictToBudgetLocked() {
@@ -220,6 +265,8 @@ void ResultCache::Clear() {
   map_.clear();
   deltas_.clear();
   bytes_ = 0;
+  Metrics().bytes->Set(0);
+  Metrics().entries->Set(0);
 }
 
 ResultCacheCounters ResultCache::Counters() const {

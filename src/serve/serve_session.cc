@@ -6,9 +6,77 @@
 #include <vector>
 
 #include "io/request_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace gsgrow {
+
+namespace {
+
+// Pre-registered handles (DESIGN.md §13). The stage histograms join the
+// family the service registers — obs registration is idempotent per
+// (name, label) — so session-side parse/serialize spans and service-side
+// snapshot/mine/cache spans land in one exposition family.
+struct SessionMetrics {
+  obs::Histogram* parse_us;
+  obs::Histogram* serialize_us;
+  obs::Counter* rejected_unknown_verb;
+  obs::Counter* rejected_bad_argument;
+  obs::Counter* rejected_not_found;
+  obs::Counter* rejected_out_of_range;
+  obs::Counter* rejected_other;
+};
+
+SessionMetrics MakeSessionMetrics() {
+  SessionMetrics m;
+  const char* stage_help = "Per-stage request latency in microseconds";
+  m.parse_us = GSGROW_METRIC_HISTOGRAM_LABELED("gsgrow_request_stage_us",
+                                               stage_help, "stage", "parse");
+  m.serialize_us = GSGROW_METRIC_HISTOGRAM_LABELED(
+      "gsgrow_request_stage_us", stage_help, "stage", "serialize");
+  const char* rejected_help =
+      "Commands answered with an error line, by failure kind";
+  m.rejected_unknown_verb = GSGROW_METRIC_COUNTER_LABELED(
+      "gsgrow_requests_rejected_total", rejected_help, "kind", "unknown_verb");
+  m.rejected_bad_argument = GSGROW_METRIC_COUNTER_LABELED(
+      "gsgrow_requests_rejected_total", rejected_help, "kind", "bad_argument");
+  m.rejected_not_found = GSGROW_METRIC_COUNTER_LABELED(
+      "gsgrow_requests_rejected_total", rejected_help, "kind", "not_found");
+  m.rejected_out_of_range = GSGROW_METRIC_COUNTER_LABELED(
+      "gsgrow_requests_rejected_total", rejected_help, "kind", "out_of_range");
+  m.rejected_other = GSGROW_METRIC_COUNTER_LABELED(
+      "gsgrow_requests_rejected_total", rejected_help, "kind", "other");
+  return m;
+}
+
+SessionMetrics& Metrics() {
+  static SessionMetrics metrics = MakeSessionMetrics();
+  return metrics;
+}
+
+// Maps a failed command to its rejection-kind counter. Parse failures are
+// all InvalidArgument, so the unknown-verb case is told apart by the
+// message prefix ParseServeCommand emits.
+obs::Counter* RejectedCounter(const Status& status) {
+  if (status.code() == StatusCode::kInvalidArgument &&
+      status.message().rfind("unknown verb", 0) == 0) {
+    return Metrics().rejected_unknown_verb;
+  }
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return Metrics().rejected_bad_argument;
+    case StatusCode::kNotFound:
+      return Metrics().rejected_not_found;
+    case StatusCode::kOutOfRange:
+      return Metrics().rejected_out_of_range;
+    default:
+      return Metrics().rejected_other;
+  }
+}
+
+}  // namespace
 
 int RunServeSession(MiningService& service, std::istream& in,
                     std::ostream& out) {
@@ -23,6 +91,7 @@ int RunServeSession(MiningService& service, std::istream& in,
 
   const auto fail = [&](const Status& status) {
     out << "error " << status.ToString() << "\n";
+    RejectedCounter(status)->Increment();
     ++errors;
   };
 
@@ -30,7 +99,11 @@ int RunServeSession(MiningService& service, std::istream& in,
   while (std::getline(in, line)) {
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
+    const WallTimer request_timer;
+    obs::RequestTrace trace;
+    obs::StageTimer parse_span(&trace, obs::Stage::kParse, Metrics().parse_us);
     Result<ServeCommand> parsed = ParseServeCommand(trimmed);
+    parse_span.Stop();
     if (!parsed.ok()) {
       fail(parsed.status());
       continue;
@@ -46,22 +119,39 @@ int RunServeSession(MiningService& service, std::istream& in,
     }
     switch (command.verb) {
       case ServeCommand::Verb::kAppend: {
-        const Result<SeqId> seq = service.Append(command.events);
+        trace.verb = "append";
+        const Result<SeqId> seq = service.Append(command.events, &trace);
         if (!seq.ok()) {
           fail(seq.status());
           break;
         }
-        out << "ok seq=" << *seq << " len=" << command.events.size() << "\n";
+        {
+          obs::StageTimer serialize_span(&trace, obs::Stage::kSerialize,
+                                         Metrics().serialize_us);
+          out << "ok seq=" << *seq << " len=" << command.events.size()
+              << "\n";
+        }
+        trace.ok = true;
+        trace.total_us = request_timer.ElapsedMicros();
+        service.RecordRequestTrace(std::move(trace));
         break;
       }
       case ServeCommand::Verb::kExtend: {
-        Status st = service.AppendTo(command.seq, command.events);
+        trace.verb = "extend";
+        Status st = service.AppendTo(command.seq, command.events, &trace);
         if (!st.ok()) {
           fail(st);
           break;
         }
-        out << "ok seq=" << command.seq << " appended="
-            << command.events.size() << "\n";
+        {
+          obs::StageTimer serialize_span(&trace, obs::Stage::kSerialize,
+                                         Metrics().serialize_us);
+          out << "ok seq=" << command.seq
+              << " appended=" << command.events.size() << "\n";
+        }
+        trace.ok = true;
+        trace.total_us = request_timer.ElapsedMicros();
+        service.RecordRequestTrace(std::move(trace));
         break;
       }
       case ServeCommand::Verb::kMine:
@@ -74,10 +164,19 @@ int RunServeSession(MiningService& service, std::istream& in,
         }
         std::shared_ptr<const ServiceSnapshot> snapshot;
         const MineResponse response =
-            service.Execute(command.request, &snapshot);
-        out << FormatMineResponse(response, snapshot->db->dictionary(),
-                                  command.limit);
-        if (!response.status.ok()) ++errors;
+            service.Execute(command.request, &snapshot, &trace);
+        {
+          obs::StageTimer serialize_span(&trace, obs::Stage::kSerialize,
+                                         Metrics().serialize_us);
+          out << FormatMineResponse(response, snapshot->db->dictionary(),
+                                    command.limit);
+        }
+        if (!response.status.ok()) {
+          RejectedCounter(response.status)->Increment();
+          ++errors;
+        }
+        trace.total_us = request_timer.ElapsedMicros();
+        service.RecordRequestTrace(std::move(trace));
         break;
       }
       case ServeCommand::Verb::kBatch: {
@@ -102,7 +201,10 @@ int RunServeSession(MiningService& service, std::istream& in,
           out << "request " << i << "\n"
               << FormatMineResponse(responses[i], snapshot->db->dictionary(),
                                     batch_limits[i]);
-          if (!responses[i].status.ok()) ++errors;
+          if (!responses[i].status.ok()) {
+            RejectedCounter(responses[i].status)->Increment();
+            ++errors;
+          }
         }
         batching = false;
         batch.clear();
@@ -111,6 +213,19 @@ int RunServeSession(MiningService& service, std::istream& in,
       }
       case ServeCommand::Verb::kStats: {
         out << FormatServiceStats(service.Stats()) << "\n";
+        break;
+      }
+      case ServeCommand::Verb::kMetrics: {
+        out << obs::MetricRegistry::Global().ExpositionText();
+        break;
+      }
+      case ServeCommand::Verb::kTrace: {
+        const std::vector<obs::RequestTrace> recent =
+            service.traces().Recent(command.trace_n);
+        out << "traces count=" << recent.size() << "\n";
+        for (const obs::RequestTrace& t : recent) {
+          out << obs::FormatRequestTrace(t) << "\n";
+        }
         break;
       }
       case ServeCommand::Verb::kCheckpoint: {

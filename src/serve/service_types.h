@@ -98,6 +98,16 @@ struct ServiceStats {
   uint64_t cache_misses = 0;
   uint64_t cache_revalidated = 0;
   uint64_t cache_evicted = 0;
+
+  /// Durability observability (DESIGN.md §10/§13); all zero on an
+  /// in-memory service. Counts and bytes are deterministic for a given
+  /// session script, so they may enter golden transcripts; recover_seconds
+  /// is wall-clock and deliberately kept OUT of FormatServiceStats.
+  uint64_t wal_segments = 0;    // live wal-<seq>.log files (incl. active)
+  uint64_t wal_live_bytes = 0;  // bytes across the live segments
+  uint64_t checkpoints = 0;     // checkpoints taken by THIS incarnation
+  uint64_t wal_replay_records = 0;  // last recovery's replayed records
+  double recover_seconds = 0.0;     // last recovery's wall-clock cost
 };
 
 /// Resolves the request's effective alphabet restriction against `db`:

@@ -4,6 +4,7 @@
 #define GSGROW_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 #include <limits>
 
 namespace gsgrow {
@@ -18,6 +19,15 @@ class WallTimer {
   /// Seconds elapsed since construction or last Reset().
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Whole microseconds elapsed since construction or last Reset() — the
+  /// unit every obs/ histogram and trace span records in.
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
   }
 
  private:

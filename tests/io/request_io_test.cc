@@ -125,10 +125,18 @@ TEST(RequestIo, FormatsStats) {
   stats.cache_misses = 3;
   stats.cache_revalidated = 2;
   stats.cache_evicted = 1;
+  stats.wal_segments = 2;
+  stats.wal_live_bytes = 4096;
+  stats.checkpoints = 1;
+  stats.wal_replay_records = 6;
+  // recover_seconds is wall-clock and must NOT appear in the line
+  // (golden-transcript determinism; service_types.h).
+  stats.recover_seconds = 1.5;
   EXPECT_EQ(FormatServiceStats(stats),
             "stats sequences=3 alphabet=9 events=41 epoch=2 appends=5 "
             "queries=7 cache_hits=4 cache_misses=3 cache_revalidated=2 "
-            "cache_evicted=1");
+            "cache_evicted=1 wal_segments=2 wal_bytes=4096 checkpoints=1 "
+            "replay_records=6");
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,187 @@
+// Metric registry (obs/metrics.h, DESIGN.md §13).
+//
+// Pins the parts the serving stack's observability depends on: the
+// deterministic log2 bucket layout (including the 0 bucket, exact power
+// boundaries, and saturation), the conservative percentile estimate
+// against a sorted-sample reference, the byte-stable exposition structure
+// (a golden, since the metrics-smoke CI step diffs normalized exposition),
+// idempotent registration, and lock-free concurrent recording (this file
+// runs under the tsan preset).
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "obs/metrics.h"
+
+namespace gsgrow::obs {
+namespace {
+
+TEST(ObsMetrics, BucketZeroHoldsExactlyZero) {
+  EXPECT_EQ(HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketIndex(1), 1u);
+}
+
+TEST(ObsMetrics, BucketBoundariesArePowersOfTwo) {
+  // Bucket i (1..26) holds [2^(i-1), 2^i): both edges land where the layout
+  // says, for every boundary the layout has.
+  for (size_t i = 1; i < kHistogramBuckets - 1; ++i) {
+    const uint64_t lo = uint64_t{1} << (i - 1);
+    const uint64_t hi = (uint64_t{1} << i) - 1;
+    EXPECT_EQ(HistogramBucketIndex(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(HistogramBucketIndex(hi), i) << "upper edge of bucket " << i;
+    EXPECT_EQ(HistogramBucketUpperBound(i), hi);
+  }
+  EXPECT_EQ(HistogramBucketIndex(2), 2u);
+  EXPECT_EQ(HistogramBucketIndex(3), 2u);
+  EXPECT_EQ(HistogramBucketIndex(4), 3u);
+}
+
+TEST(ObsMetrics, SaturationBucket) {
+  const uint64_t first_saturated = uint64_t{1} << (kHistogramBuckets - 2);
+  EXPECT_EQ(HistogramBucketIndex(first_saturated - 1), kHistogramBuckets - 2);
+  EXPECT_EQ(HistogramBucketIndex(first_saturated), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketIndex(UINT64_MAX), kHistogramBuckets - 1);
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1), UINT64_MAX);
+}
+
+TEST(ObsMetrics, HistogramRecordsCountSumBuckets) {
+  Histogram h;
+  EXPECT_EQ(h.PercentileUpperBound(0.5), 0u);  // empty -> 0
+  h.Record(0);
+  h.Record(1);
+  h.Record(7);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1008u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(HistogramBucketIndex(7)), 1u);
+  EXPECT_EQ(h.bucket(HistogramBucketIndex(1000)), 1u);
+}
+
+// The estimate must bound the true percentile from above, and by the log2
+// layout never exceed 2x+1 of it.
+TEST(ObsMetrics, PercentileMatchesSortedReference) {
+  std::vector<uint64_t> samples;
+  uint64_t v = 1;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back(v % 100000);
+    v = v * 2862933555777941757ull + 3037000493ull;  // deterministic LCG
+  }
+  Histogram h;
+  for (const uint64_t s : samples) h.Record(s);
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const size_t rank = static_cast<size_t>(q * samples.size());
+    const uint64_t exact = samples[rank > 0 ? rank - 1 : 0];
+    const uint64_t estimate = h.PercentileUpperBound(q);
+    EXPECT_GE(estimate, exact) << "q=" << q;
+    EXPECT_LE(estimate, 2 * exact + 1) << "q=" << q;
+  }
+}
+
+TEST(ObsMetrics, PercentileSaturationReportsLowerBound) {
+  Histogram h;
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.PercentileUpperBound(0.5),
+            uint64_t{1} << (kHistogramBuckets - 2));
+}
+
+TEST(ObsMetrics, RegistrationIsIdempotentByNameAndLabel) {
+  MetricRegistry registry;
+  Counter* a = registry.RegisterCounter("c_total", "help");
+  Counter* b = registry.RegisterCounter("c_total", "help");
+  EXPECT_EQ(a, b);
+  Counter* hit = registry.RegisterCounter("l_total", "help", "kind", "hit");
+  Counter* miss = registry.RegisterCounter("l_total", "help", "kind", "miss");
+  Counter* hit2 = registry.RegisterCounter("l_total", "help", "kind", "hit");
+  EXPECT_NE(hit, miss);
+  EXPECT_EQ(hit, hit2);
+  Histogram* h1 = registry.RegisterHistogram("h_us", "help");
+  Histogram* h2 = registry.RegisterHistogram("h_us", "help");
+  EXPECT_EQ(h1, h2);
+}
+
+// Exposition golden on a fully-controlled local registry: families sorted
+// by name, series by label, histograms as cumulative buckets + _sum +
+// _count. The serve `metrics` verb emits exactly this structure from the
+// global registry.
+TEST(ObsMetrics, ExpositionGolden) {
+  MetricRegistry registry;
+  Counter* reqs = registry.RegisterCounter("t_requests_total", "Requests");
+  reqs->Increment(3);
+  registry.RegisterCounter("t_rejected_total", "Rejected", "kind", "parse")
+      ->Increment();
+  registry.RegisterCounter("t_rejected_total", "Rejected", "kind", "exec");
+  registry.RegisterGauge("t_bytes", "Occupancy")->Set(42);
+  Histogram* lat = registry.RegisterHistogram("t_us", "Latency");
+  lat->Record(0);
+  lat->Record(3);
+  lat->Record(5);
+
+  std::string expected;
+  expected += "# HELP t_bytes Occupancy\n";
+  expected += "# TYPE t_bytes gauge\n";
+  expected += "t_bytes 42\n";
+  expected += "# HELP t_rejected_total Rejected\n";
+  expected += "# TYPE t_rejected_total counter\n";
+  expected += "t_rejected_total{kind=\"exec\"} 0\n";
+  expected += "t_rejected_total{kind=\"parse\"} 1\n";
+  expected += "# HELP t_requests_total Requests\n";
+  expected += "# TYPE t_requests_total counter\n";
+  expected += "t_requests_total 3\n";
+  expected += "# HELP t_us Latency\n";
+  expected += "# TYPE t_us histogram\n";
+  expected += "t_us_bucket{le=\"0\"} 1\n";
+  expected += "t_us_bucket{le=\"1\"} 1\n";
+  expected += "t_us_bucket{le=\"3\"} 2\n";
+  expected += "t_us_bucket{le=\"7\"} 3\n";
+  for (size_t i = 4; i < kHistogramBuckets - 1; ++i) {
+    expected += "t_us_bucket{le=\"" +
+                std::to_string((uint64_t{1} << i) - 1) + "\"} 3\n";
+  }
+  expected += "t_us_bucket{le=\"+Inf\"} 3\n";
+  expected += "t_us_sum 8\n";
+  expected += "t_us_count 3\n";
+  EXPECT_EQ(registry.ExpositionText(), expected);
+}
+
+// Recording from many threads with no synchronization: totals must add up
+// exactly (relaxed atomics lose nothing), and tsan must see no race. This
+// test is part of the tsan preset's filter (CMakePresets.json).
+TEST(ObsMetrics, ConcurrentRecording) {
+  MetricRegistry registry;
+  Counter* counter = registry.RegisterCounter("cc_total", "help");
+  Gauge* gauge = registry.RegisterGauge("cc_gauge", "help");
+  Histogram* histogram = registry.RegisterHistogram("cc_us", "help");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1);
+        histogram->Record(static_cast<uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter->value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(gauge->value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(histogram->count(), uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_sum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    bucket_sum += histogram->bucket(i);
+  }
+  EXPECT_EQ(bucket_sum, uint64_t{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace gsgrow::obs

@@ -1,0 +1,148 @@
+// Request tracing (obs/trace.h, DESIGN.md §13): ring bounds and ordering,
+// the threshold-gated slow-query log (with an injected sink — the real one
+// writes to stderr, never the protocol stream), the deterministic trace
+// line shape, and the stage-name taxonomy the metric labels reuse.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "obs/trace.h"
+
+namespace gsgrow::obs {
+namespace {
+
+RequestTrace MakeTrace(uint64_t total_us) {
+  RequestTrace trace;
+  trace.verb = "mine:closed";
+  trace.total_us = total_us;
+  return trace;
+}
+
+TEST(ObsTrace, StageNamesAreStable) {
+  EXPECT_EQ(StageName(Stage::kParse), "parse");
+  EXPECT_EQ(StageName(Stage::kCanonicalize), "canonicalize");
+  EXPECT_EQ(StageName(Stage::kCacheProbe), "cache_probe");
+  EXPECT_EQ(StageName(Stage::kSnapshot), "snapshot");
+  EXPECT_EQ(StageName(Stage::kMine), "mine");
+  EXPECT_EQ(StageName(Stage::kAnnotate), "annotate");
+  EXPECT_EQ(StageName(Stage::kSerialize), "serialize");
+  EXPECT_EQ(StageName(Stage::kWalSync), "wal_sync");
+}
+
+TEST(ObsTrace, FormatIsOneDeterministicLine) {
+  RequestTrace trace;
+  trace.verb = "topk";
+  trace.total_us = 1234;
+  trace.AddStage(Stage::kSnapshot, 10);
+  trace.AddStage(Stage::kMine, 1200);
+  trace.epoch = 7;
+  trace.patterns = 42;
+  trace.cache_hit = true;
+  trace.dfs.nodes_visited = 99;
+  trace.dfs.closure_checks = 5;
+  EXPECT_EQ(FormatRequestTrace(trace),
+            "trace id=0 verb=topk total_us=1234 parse_us=0 canonicalize_us=0 "
+            "cache_probe_us=0 snapshot_us=10 mine_us=1200 annotate_us=0 "
+            "serialize_us=0 wal_sync_us=0 epoch=7 patterns=42 cache_hit=1 "
+            "ok=1 dfs_nodes=99 dfs_insgrow=0 dfs_next_queries=0 "
+            "dfs_closure_checks=5 dfs_closure_regrow=0");
+}
+
+TEST(ObsTrace, EmptyVerbFormatsAsQuestionMark) {
+  const std::string line = FormatRequestTrace(RequestTrace{});
+  EXPECT_NE(line.find(" verb=? "), std::string::npos);
+}
+
+TEST(ObsTrace, AddStageAccumulates) {
+  RequestTrace trace;
+  trace.AddStage(Stage::kWalSync, 3);
+  trace.AddStage(Stage::kWalSync, 4);
+  EXPECT_EQ(trace.stage_us[static_cast<size_t>(Stage::kWalSync)], 7u);
+}
+
+TEST(ObsTrace, RingIsBoundedAndNewestFirst) {
+  TraceRecorderOptions options;
+  options.capacity = 3;
+  TraceRecorder recorder(options);
+  for (int i = 1; i <= 5; ++i) {
+    recorder.Record(MakeTrace(static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(recorder.recorded(), 5u);
+  const std::vector<RequestTrace> recent = recorder.Recent(10);
+  ASSERT_EQ(recent.size(), 3u);  // capacity bound, ids 3..5 survive
+  EXPECT_EQ(recent[0].id, 5u);
+  EXPECT_EQ(recent[1].id, 4u);
+  EXPECT_EQ(recent[2].id, 3u);
+  EXPECT_EQ(recorder.Recent(2).size(), 2u);
+  EXPECT_EQ(recorder.Recent(2)[0].id, 5u);
+}
+
+TEST(ObsTrace, IdsAreAssignedSequentially) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.Record(MakeTrace(1)), 1u);
+  EXPECT_EQ(recorder.Record(MakeTrace(1)), 2u);
+}
+
+TEST(ObsTrace, SlowQueryGateHonorsThreshold) {
+  std::ostringstream log;
+  TraceRecorderOptions options;
+  options.slow_query_enabled = true;
+  options.slow_query_micros = 1000;
+  options.slow_log = &log;
+  TraceRecorder recorder(options);
+  recorder.Record(MakeTrace(999));  // below threshold: silent
+  EXPECT_EQ(recorder.slow_queries(), 0u);
+  EXPECT_TRUE(log.str().empty());
+  recorder.Record(MakeTrace(1000));  // at threshold: fires
+  EXPECT_EQ(recorder.slow_queries(), 1u);
+  const std::string line = log.str();
+  EXPECT_NE(line.find("slow_query threshold_us=1000"), std::string::npos);
+  EXPECT_NE(line.find("verb=mine:closed"), std::string::npos);
+  EXPECT_NE(line.find("dfs_nodes="), std::string::npos);
+  // The recorded copy is marked.
+  EXPECT_TRUE(recorder.Recent(1)[0].slow);
+}
+
+TEST(ObsTrace, ThresholdZeroMarksEveryRequest) {
+  // The CI metrics-smoke step relies on this: --slow_query_ms=0 makes the
+  // log fire deterministically for every request.
+  std::ostringstream log;
+  TraceRecorder recorder;
+  recorder.SetSlowLogStream(&log);
+  recorder.EnableSlowQueryLog(0);
+  recorder.Record(MakeTrace(0));
+  recorder.Record(MakeTrace(5));
+  EXPECT_EQ(recorder.slow_queries(), 2u);
+}
+
+TEST(ObsTrace, DisableStopsTheLog) {
+  std::ostringstream log;
+  TraceRecorderOptions options;
+  options.slow_query_enabled = true;
+  options.slow_query_micros = 0;
+  options.slow_log = &log;
+  TraceRecorder recorder(options);
+  recorder.DisableSlowQueryLog();
+  recorder.Record(MakeTrace(123456));
+  EXPECT_EQ(recorder.slow_queries(), 0u);
+  EXPECT_TRUE(log.str().empty());
+}
+
+TEST(ObsTrace, StageTimerAddsToTraceAndHistogram) {
+  RequestTrace trace;
+  Histogram histogram;
+  {
+    StageTimer timer(&trace, Stage::kMine, &histogram);
+    const uint64_t us = timer.Stop();
+    EXPECT_EQ(timer.Stop(), us);  // idempotent
+  }
+  EXPECT_EQ(histogram.count(), 1u);  // one record despite Stop + dtor
+  // Null trace and null histogram are both legal.
+  StageTimer(nullptr, Stage::kMine, nullptr).Stop();
+}
+
+}  // namespace
+}  // namespace gsgrow::obs

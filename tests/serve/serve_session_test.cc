@@ -11,6 +11,7 @@
 #include "gtest/gtest.h"
 
 #include "io/request_io.h"
+#include "obs/metrics.h"
 #include "serve/mining_service.h"
 #include "serve/serve_session.h"
 
@@ -58,7 +59,8 @@ TEST(ServeSession, AppendMineStatsTranscript) {
             "3\tA A B\n"
             "stats sequences=2 alphabet=4 events=12 epoch=2 appends=3 "
             "queries=2 cache_hits=0 cache_misses=2 cache_revalidated=0 "
-            "cache_evicted=0\n"
+            "cache_evicted=0 wal_segments=0 wal_bytes=0 checkpoints=0 "
+            "replay_records=0\n"
             "bye\n");
 }
 
@@ -166,6 +168,88 @@ TEST(ServeSession, DurabilityVerbsFailOnInMemoryService) {
   EXPECT_NE(result.output.find("stats sequences=1"), std::string::npos);
 }
 
+TEST(ServeSession, MetricsVerbEmitsExposition) {
+  const SessionResult result = RunScript(
+      "append A B A B\n"
+      "mine min_sup=2\n"
+      "metrics\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 0);
+  // Values are wall-clock-dependent; the test pins that the exposition
+  // block appears on the protocol stream with the core families present.
+  EXPECT_NE(result.output.find("# TYPE gsgrow_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("# TYPE gsgrow_request_stage_us histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      result.output.find("gsgrow_request_stage_us_bucket{stage=\"mine\","),
+      std::string::npos);
+  EXPECT_NE(result.output.find("# TYPE gsgrow_cache_bytes gauge"),
+            std::string::npos);
+}
+
+TEST(ServeSession, TraceVerbPrintsRecentTracesNewestFirst) {
+  const SessionResult result = RunScript(
+      "append A B A B\n"
+      "mine min_sup=2\n"
+      "topk k=1\n"
+      "trace last 2\n"
+      "trace last\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 0);
+  EXPECT_NE(result.output.find("traces count=2\n"), std::string::npos);
+  EXPECT_NE(result.output.find("traces count=3\n"), std::string::npos);
+  // Newest first: the topk query precedes the mine, which precedes append.
+  const size_t topk_at = result.output.find("verb=topk");
+  const size_t mine_at = result.output.find("verb=mine:closed");
+  const size_t append_at = result.output.find("verb=append");
+  ASSERT_NE(topk_at, std::string::npos);
+  ASSERT_NE(mine_at, std::string::npos);
+  ASSERT_NE(append_at, std::string::npos);
+  EXPECT_LT(topk_at, mine_at);
+  EXPECT_LT(mine_at, append_at);
+  // Traces carry the DFS counters (slow-query attribution needs them).
+  EXPECT_NE(result.output.find("dfs_nodes="), std::string::npos);
+}
+
+TEST(ServeSession, TraceVerbArgumentsAreValidated) {
+  const SessionResult result = RunScript(
+      "trace\n"
+      "trace last zero\n"
+      "trace last 0\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 3);
+}
+
+TEST(ServeSession, RejectedRequestsAreCountedByKind) {
+  // The registry is process-global, so the test asserts DELTAS around the
+  // scripted failures rather than absolute counts.
+  const auto series_value = [](const std::string& exposition,
+                               const std::string& series) -> uint64_t {
+    const size_t at = exposition.find(series + " ");
+    if (at == std::string::npos) return 0;
+    return std::stoull(exposition.substr(at + series.size() + 1));
+  };
+  const std::string before = obs::MetricRegistry::Global().ExpositionText();
+  const SessionResult result = RunScript(
+      "bogus\n"
+      "mine min_sup=zero\n"
+      "extend 7 A\n"
+      "quit\n");
+  EXPECT_EQ(result.errors, 3);
+  const std::string after = obs::MetricRegistry::Global().ExpositionText();
+  const std::string unknown =
+      "gsgrow_requests_rejected_total{kind=\"unknown_verb\"}";
+  const std::string bad_arg =
+      "gsgrow_requests_rejected_total{kind=\"bad_argument\"}";
+  const std::string not_found =
+      "gsgrow_requests_rejected_total{kind=\"not_found\"}";
+  EXPECT_EQ(series_value(after, unknown), series_value(before, unknown) + 1);
+  EXPECT_EQ(series_value(after, bad_arg), series_value(before, bad_arg) + 1);
+  EXPECT_EQ(series_value(after, not_found),
+            series_value(before, not_found) + 1);
+}
+
 TEST(ServeSession, DurabilityVerbsOnDurableService) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "gsgrow_session_durable")
@@ -189,6 +273,27 @@ TEST(ServeSession, DurabilityVerbsOnDurableService) {
             "wal_records=0 torn_tail=0\n"
             "ok checkpoint epoch=1\n"
             "bye\n");
+  // Durability observability (DESIGN.md §13): the checkpoint rotated the
+  // WAL, so exactly the fresh active segment is live and empty.
+  const ServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.checkpoints, 1u);
+  EXPECT_EQ(stats.wal_segments, 1u);
+  EXPECT_EQ(stats.wal_live_bytes, 0u);
+  EXPECT_EQ(stats.wal_replay_records, 0u);
+
+  // Reopen: recovery loads the checkpoint (no WAL tail), and the last
+  // recovery's cost surfaces in ServiceStats — replayed record count
+  // deterministic, recover_seconds wall-clock (and excluded from the
+  // formatted line, pinned by RequestIo.FormatsStats).
+  service->reset();
+  Result<std::unique_ptr<MiningService>> reopened =
+      MiningService::OpenDurable(options);
+  ASSERT_TRUE(reopened.ok());
+  const ServiceStats recovered = (*reopened)->Stats();
+  EXPECT_EQ(recovered.wal_replay_records, 0u);
+  EXPECT_EQ(recovered.checkpoints, 0u);  // taken by THIS incarnation: none
+  EXPECT_GE(recovered.recover_seconds, 0.0);
+  reopened->reset();
   std::filesystem::remove_all(dir);
 }
 

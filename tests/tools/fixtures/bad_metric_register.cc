@@ -1,0 +1,17 @@
+// gsgrow-fixture: path=src/serve/handler.cc expect=metric-register-macro
+// Seeded violation: product code calling the registry's Register* methods
+// directly instead of going through the GSGROW_METRIC_* macros. A stray
+// direct call can re-register under a divergent help string, skip the
+// function-local static handle pattern, and put a map lookup on the hot
+// path.
+#include "obs/metrics.h"
+
+namespace gsgrow {
+
+void CountSomething() {
+  obs::MetricRegistry::Global()
+      .RegisterCounter("gsgrow_things_total", "Things")
+      ->Increment();
+}
+
+}  // namespace gsgrow

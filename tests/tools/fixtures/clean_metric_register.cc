@@ -1,0 +1,30 @@
+// gsgrow-fixture: path=src/serve/handler.cc expect=
+// The sanctioned spelling: a function-local static handle struct built
+// once from the GSGROW_METRIC_* macros, so the hot path is a plain atomic
+// increment with no registry lookup.
+#include "obs/metrics.h"
+
+namespace gsgrow {
+namespace {
+
+struct HandlerMetrics {
+  obs::Counter* things_total = nullptr;
+};
+
+HandlerMetrics MakeHandlerMetrics() {
+  HandlerMetrics metrics;
+  metrics.things_total =
+      GSGROW_METRIC_COUNTER("gsgrow_things_total", "Things");
+  return metrics;
+}
+
+HandlerMetrics& Metrics() {
+  static HandlerMetrics metrics = MakeHandlerMetrics();
+  return metrics;
+}
+
+}  // namespace
+
+void CountSomething() { Metrics().things_total->Increment(); }
+
+}  // namespace gsgrow

@@ -245,6 +245,25 @@ def rule_cache_key_canonical(relpath, raw_lines, code_lines):
     return out
 
 
+def rule_metric_register_macro(relpath, raw_lines, code_lines):
+    """DESIGN.md §13: product code registers metrics only through the
+    GSGROW_METRIC_* macros (obs/metrics.h), never by calling the registry's
+    Register* methods directly. The macros pin the one sanctioned pattern —
+    a function-local static handle resolved once against the global
+    registry — so every hot-path Record/Increment is a plain atomic with no
+    lookup, no allocation, and no chance of re-registering under a
+    subtly different name or help string. Tests and benchmarks exercising
+    their own local MetricRegistry instances are exempt by path."""
+    del raw_lines
+    out = []
+    pat = re.compile(r"\bRegister(Counter|Gauge|Histogram)\s*\(")
+    for ln, line in enumerate(code_lines, 1):
+        if pat.search(line):
+            out.append((ln, "direct MetricRegistry registration; use the "
+                            "GSGROW_METRIC_* macros (obs/metrics.h)"))
+    return out
+
+
 RULES = [
     ("raw-new", rule_raw_new,
      lambda p: _path_under(p, "src/") and p != "src/util/arena.cc"),
@@ -264,6 +283,8 @@ RULES = [
     ("cache-key-canonical", rule_cache_key_canonical,
      lambda p: _path_under(p, "src/serve/", "src/io/")
      and p not in ("src/serve/result_cache.h", "src/io/request_io.cc")),
+    ("metric-register-macro", rule_metric_register_macro,
+     lambda p: _path_under(p, "src/") and not _path_under(p, "src/obs/")),
 ]
 
 RULE_IDS = {rid for rid, _, _ in RULES}

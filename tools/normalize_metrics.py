@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Normalize timing-dependent values in a serve-session transcript.
+
+The CI metrics-smoke step pipes a scripted serve_cli session's stdout
+through this filter and diffs the result against a checked-in golden
+(tests/serve/testdata/metrics_session.golden). The metric and trace
+*structure* is deterministic — which families exist, which series, which
+labels, every counter and gauge value, histogram _count, and the +Inf
+bucket (== _count) — but wall-clock durations are not. This script
+replaces exactly the timing-dependent tokens with `N` and leaves
+everything else byte-for-byte intact (DESIGN.md §13 determinism
+contract):
+
+  * histogram `_bucket` values, EXCEPT the le="+Inf" series — where a
+    latency sample lands depends on how long the stage took, but the
+    cumulative total does not;
+  * histogram `_sum` values;
+  * `<stage>_us=<n>` tokens on `trace ...` lines (total_us and the
+    per-stage spans).
+
+Usage: normalize_metrics.py < transcript > normalized
+"""
+
+import re
+import sys
+
+# name_bucket{...,le="123"} 45  -> value normalized; le="+Inf" kept.
+FINITE_BUCKET = re.compile(r'^(\S+_bucket\{[^}]*le="[0-9]+"\}) \d+$')
+HISTOGRAM_SUM = re.compile(r'^(\S+_sum(?:\{[^}]*\})?) \d+$')
+TRACE_US_TOKEN = re.compile(r'\b([a-z_]+_us)=\d+')
+
+
+def normalize(line):
+    m = FINITE_BUCKET.match(line)
+    if m:
+        return m.group(1) + " N"
+    m = HISTOGRAM_SUM.match(line)
+    if m:
+        return m.group(1) + " N"
+    if line.startswith("trace "):
+        return TRACE_US_TOKEN.sub(r"\1=N", line)
+    return line
+
+
+def main():
+    for line in sys.stdin:
+        sys.stdout.write(normalize(line.rstrip("\n")) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
